@@ -1,0 +1,618 @@
+package lms
+
+// Benchmark harness: one bench per experiment id of DESIGN.md §4.
+//
+//	E1..E5  reproduce the paper's figures (architecture flow, job
+//	        evaluation, miniMD app-level monitoring, pathological
+//	        detection, pattern tree),
+//	O1..O6  quantify the overhead claims of the text (router, line
+//	        protocol, database, libusermetric, publisher, HPM collection).
+//
+// Run with: go test -bench=. -benchmem
+// EXPERIMENTS.md records the measured outcomes against the paper's claims.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/hpm"
+	"repro/internal/jobsched"
+	"repro/internal/lineproto"
+	"repro/internal/pubsub"
+	"repro/internal/router"
+	"repro/internal/stream"
+	"repro/internal/tsdb"
+	"repro/internal/usermetric"
+	"repro/internal/workload"
+)
+
+func benchTopo() hpm.Topology {
+	return hpm.Topology{Sockets: 2, CoresPerSocket: 10, ThreadsPerCore: 1, BaseClockMHz: 2200}
+}
+
+// --- E1: Fig. 1, the full architecture flow -------------------------------
+
+// BenchmarkE1_EndToEndPipeline measures one full simulation step of a
+// 4-node cluster running a triad job: scheduler, workload profiles, HPM and
+// /proc counters, collection agents, router enrichment, database insert.
+func BenchmarkE1_EndToEndPipeline(b *testing.B) {
+	stack, sim, err := core.NewSimulatedStack(
+		core.StackConfig{PerUserDBs: true},
+		core.SimConfig{Nodes: 4, Topology: benchTopo(), CollectInterval: 60},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stack.Close()
+	err = sim.SubmitJob(jobsched.JobRequest{
+		ID: "bench", User: "u", Nodes: 4, Walltime: 1e12,
+	}, workload.NewTriad(20, 1e12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Step(); err != nil { // arm HPM sessions
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stack.DB.PointCount())/float64(b.N), "points/step")
+}
+
+// --- E2: Fig. 2, online job evaluation ------------------------------------
+
+func seedEvaluationDB(b *testing.B, nodes, minutes int) (*tsdb.DB, analysis.JobMeta) {
+	b.Helper()
+	db := tsdb.NewDB("lms")
+	start := time.Unix(0, 0).UTC()
+	meta := analysis.JobMeta{ID: "e2", User: "u", Start: start, End: start.Add(time.Duration(minutes) * time.Minute)}
+	for n := 0; n < nodes; n++ {
+		host := fmt.Sprintf("node%02d", n+1)
+		meta.Nodes = append(meta.Nodes, host)
+		for i := 0; i < minutes; i++ {
+			ts := start.Add(time.Duration(i) * time.Minute)
+			err := db.WritePoints([]lineproto.Point{
+				{
+					Measurement: "likwid_mem_dp",
+					Tags:        map[string]string{"hostname": host},
+					Fields: map[string]lineproto.Value{
+						"dp_mflop_s":                lineproto.Float(9000 + float64(i%100)),
+						"memory_bandwidth_mbytes_s": lineproto.Float(90000),
+						"ipc":                       lineproto.Float(0.7),
+					},
+					Time: ts,
+				},
+				{
+					Measurement: "cpu",
+					Tags:        map[string]string{"hostname": host},
+					Fields:      map[string]lineproto.Value{"percent": lineproto.Float(95)},
+					Time:        ts,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db, meta
+}
+
+// BenchmarkE2_JobEvaluation measures the cost of computing the Fig. 2
+// header (per-node means, node statistics, rule scan, pattern tree) for a
+// 4-node, 2-hour job at 1-minute sampling — the work done every time a
+// dashboard is loaded.
+func BenchmarkE2_JobEvaluation(b *testing.B) {
+	db, meta := seedEvaluationDB(b, 4, 120)
+	ev := &analysis.Evaluator{DB: db, PeakMemBWMBs: 120000, PeakDPMFlops: 500000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ev.Evaluate(meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// --- E3: Fig. 3, miniMD application-level monitoring ----------------------
+
+// BenchmarkE3_MiniMDMonitoring measures the libusermetric emission path for
+// one 100-iteration sample block of miniMD: model state, buffered client,
+// line-protocol encoding, router ingest, database insert.
+func BenchmarkE3_MiniMDMonitoring(b *testing.B) {
+	db := tsdb.NewDB("lms")
+	rt, err := router.New(router.Config{Primary: router.LocalSink{DB: db}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := usermetric.New(usermetric.Config{
+		Sink: func(payload []byte) error {
+			pts, err := lineproto.Parse(payload)
+			if err != nil {
+				return err
+			}
+			return rt.Ingest(pts)
+		},
+		DefaultTags:   map[string]string{"hostname": "node01", "app": "minimd"},
+		FlushInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	mm := workload.NewMiniMD(20, 2097152, 1<<30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter := (i + 1) * 100
+		temp, press, energy := mm.StateAt(iter)
+		err := client.MetricFields("minimd", map[string]lineproto.Value{
+			"runtime_100iter": lineproto.Float(mm.Runtime100At(iter)),
+			"pressure":        lineproto.Float(press),
+			"temperature":     lineproto.Float(temp),
+			"energy":          lineproto.Float(energy),
+		}, map[string]string{"iteration": fmt.Sprint(iter)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Fig. 4, pathological detection -----------------------------------
+
+func breakSeries(minutes, breakStart, breakEnd int) []analysis.TimedValue {
+	out := make([]analysis.TimedValue, minutes)
+	for i := range out {
+		v := 8000.0
+		if i >= breakStart && i < breakEnd {
+			v = 1.0
+		}
+		out[i] = analysis.TimedValue{T: time.Unix(int64(i*60), 0), V: v}
+	}
+	return out
+}
+
+// BenchmarkE4_PathologicalDetection measures the batch rule scan over a
+// 2-hour, 1-minute-sampled timeline containing one Fig. 4 break.
+func BenchmarkE4_PathologicalDetection(b *testing.B) {
+	rule := analysis.DefaultRules()[0]
+	series := breakSeries(120, 40, 58)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := analysis.Detect(rule, series); len(got) != 1 {
+			b.Fatalf("violations %d", len(got))
+		}
+	}
+}
+
+// BenchmarkE4_PathologicalDetection_Streaming is the ablation of DESIGN.md
+// §5: the online single-sample feed instead of the batch re-scan.
+func BenchmarkE4_PathologicalDetection_Streaming(b *testing.B) {
+	rule := analysis.DefaultRules()[0]
+	series := breakSeries(120, 40, 58)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := &analysis.DetectStreaming{Rule: rule}
+		fired := 0
+		for _, s := range series {
+			if _, ok := det.Feed(s); ok {
+				fired++
+			}
+		}
+		if fired == 0 {
+			b.Fatal("no alarm")
+		}
+	}
+}
+
+// --- E5: Sect. V, performance pattern decision tree -----------------------
+
+// BenchmarkE5_PatternTree measures one classification.
+func BenchmarkE5_PatternTree(b *testing.B) {
+	in := analysis.PatternInput{
+		CPUUtil: 0.93, IPC: 0.7, DPMFlops: 9800, MemBWMBs: 95000,
+		PeakMemBWMBs: 120000, PeakDPMFlops: 500000, Imbalance: 0.1,
+		BranchMissRatio: 0.02,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := analysis.Classify(in)
+		if c.Pattern == "" {
+			b.Fatal("no pattern")
+		}
+	}
+}
+
+// --- O1: router overhead ----------------------------------------------------
+
+func routerBatch(nPoints int, host string) []lineproto.Point {
+	pts := make([]lineproto.Point, nPoints)
+	for i := range pts {
+		pts[i] = lineproto.Point{
+			Measurement: "cpu",
+			Tags:        map[string]string{"hostname": host},
+			Fields:      map[string]lineproto.Value{"value": lineproto.Float(float64(i))},
+			Time:        time.Unix(int64(i), 0),
+		}
+	}
+	return pts
+}
+
+// BenchmarkO1_RouterThroughput measures the tagging+forwarding pipeline per
+// 100-point batch, with the DESIGN.md §5 ablations: number of job tags in
+// the tag store, per-user duplication, and publisher attachment.
+func BenchmarkO1_RouterThroughput(b *testing.B) {
+	cases := []struct {
+		name    string
+		tags    int
+		dup     bool
+		publish bool
+	}{
+		{"tags=0", 0, false, false},
+		{"tags=4", 4, false, false},
+		{"tags=16", 16, false, false},
+		{"tags=4/dup", 4, true, false},
+		{"tags=4/publish", 4, false, true},
+		{"tags=4/dup+publish", 4, true, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := tsdb.NewDB("lms")
+			cfg := router.Config{Primary: router.LocalSink{DB: db}}
+			if c.dup {
+				udb := tsdb.NewDB("user")
+				cfg.UserSink = func(string) router.Sink { return router.LocalSink{DB: udb} }
+			}
+			if c.publish {
+				pub, err := pubsub.NewPublisher("127.0.0.1:0", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pub.Close()
+				cfg.Publisher = pub
+			}
+			rt, err := router.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.tags > 0 {
+				tags := map[string]string{}
+				for i := 0; i < c.tags; i++ {
+					tags[fmt.Sprintf("tag%02d", i)] = fmt.Sprintf("value%02d", i)
+				}
+				sig := router.JobSignal{JobID: "1", User: "u", Nodes: []string{"h1"}, Tags: tags}
+				if err := rt.JobStart(sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch := routerBatch(100, "h1")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// --- O2: line protocol ------------------------------------------------------
+
+// BenchmarkO2_LineProtocolEncode measures single-point encoding.
+func BenchmarkO2_LineProtocolEncode(b *testing.B) {
+	p := lineproto.Point{
+		Measurement: "likwid_mem_dp",
+		Tags:        map[string]string{"hostname": "node01", "jobid": "1234.master", "username": "alice"},
+		Fields: map[string]lineproto.Value{
+			"dp_mflop_s":                lineproto.Float(9823.5),
+			"memory_bandwidth_mbytes_s": lineproto.Float(95234.1),
+			"ipc":                       lineproto.Float(0.71),
+		},
+		Time: time.Unix(1500000000, 0),
+	}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = lineproto.AppendPoint(buf[:0], p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkO2_LineProtocolParse measures single-line parsing.
+func BenchmarkO2_LineProtocolParse(b *testing.B) {
+	line := "likwid_mem_dp,hostname=node01,jobid=1234.master,username=alice dp_mflop_s=9823.5,ipc=0.71,memory_bandwidth_mbytes_s=95234.1 1500000000000000000"
+	b.SetBytes(int64(len(line)))
+	for i := 0; i < b.N; i++ {
+		if _, err := lineproto.ParseLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkO2_BatchedVsSingle quantifies the batched-transmission design
+// choice (Sect. III-A): parse cost of one 100-line payload vs 100 single
+// lines.
+func BenchmarkO2_BatchedVsSingle(b *testing.B) {
+	pts := routerBatch(100, "h1")
+	payload, err := lineproto.Encode(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	single, err := lineproto.EncodePoint(pts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batched100", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			got, err := lineproto.Parse(payload)
+			if err != nil || len(got) != 100 {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single100", func(b *testing.B) {
+		b.SetBytes(int64(100 * len(single)))
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 100; j++ {
+				if _, err := lineproto.Parse(single); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// --- O3: database ------------------------------------------------------------
+
+// BenchmarkO3_TSDBWrite measures ingest of 100-point batches.
+func BenchmarkO3_TSDBWrite(b *testing.B) {
+	db := tsdb.NewDB("lms")
+	batch := routerBatch(100, "h1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.WritePoints(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkO3_TSDBQueryWindowed measures the dashboard's typical windowed
+// aggregation over a 2-hour series.
+func BenchmarkO3_TSDBQueryWindowed(b *testing.B) {
+	db, meta := seedEvaluationDB(b, 4, 120)
+	q := tsdb.Query{
+		Measurement: "likwid_mem_dp",
+		Fields:      []string{"dp_mflop_s"},
+		Start:       meta.Start,
+		End:         meta.End,
+		GroupByTags: []string{"hostname"},
+		Every:       5 * time.Minute,
+		Agg:         tsdb.AggMean,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Select(q)
+		if err != nil || len(res) != 4 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkO3_TSDBQueryInfluxQL adds the query-language layer on top.
+func BenchmarkO3_TSDBQueryInfluxQL(b *testing.B) {
+	store := tsdb.NewStore()
+	db := store.CreateDatabase("lms")
+	batch := routerBatch(100, "h1")
+	for i := 0; i < 100; i++ {
+		if err := db.WritePoints(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const q = "SELECT mean(value) FROM cpu WHERE hostname = 'h1' GROUP BY time(10s)"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmts, err := tsdb.ParseQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tsdb.Execute(store, "lms", stmts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- O4: libusermetric --------------------------------------------------------
+
+// newBenchHTTPServer serves a real tsdb over HTTP for the libusermetric
+// transmission benches.
+func newBenchHTTPServer(b *testing.B) string {
+	b.Helper()
+	store := tsdb.NewStore()
+	srv := httptest.NewServer(tsdb.NewHandler(store))
+	b.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// BenchmarkO4_UserMetricBuffered measures the per-metric cost with real
+// HTTP transmission and batching (the design the paper chose: "buffers and
+// sends batched messages"): one request per 500 metrics.
+func BenchmarkO4_UserMetricBuffered(b *testing.B) {
+	c, err := usermetric.New(usermetric.Config{
+		Endpoint:      newBenchHTTPServer(b),
+		DefaultTags:   map[string]string{"hostname": "h1"},
+		FlushInterval: -1,
+		MaxBatch:      500,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Metric("pressure", float64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = c.Flush()
+}
+
+// BenchmarkO4_UserMetricUnbuffered is the ablation: one HTTP request per
+// metric (what a naive, non-buffering client would do).
+func BenchmarkO4_UserMetricUnbuffered(b *testing.B) {
+	c, err := usermetric.New(usermetric.Config{
+		Endpoint:      newBenchHTTPServer(b),
+		DefaultTags:   map[string]string{"hostname": "h1"},
+		FlushInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Metric("pressure", float64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- O5: pub/sub publisher ----------------------------------------------------
+
+// BenchmarkO5_PubSubPublish measures publisher fan-out to 4 subscribers
+// with a draining reader each.
+func BenchmarkO5_PubSubPublish(b *testing.B) {
+	pub, err := pubsub.NewPublisher("127.0.0.1:0", 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	const nSubs = 4
+	for i := 0; i < nSubs; i++ {
+		sub, err := pubsub.Dial(pub.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sub.Close()
+		if err := sub.Subscribe("metrics/"); err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for range sub.Messages() {
+			}
+		}()
+	}
+	// Wait for subscriptions to be active.
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.SubscriberCount() < nSubs && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	payload := []byte("cpu,hostname=h1 value=1 1500000000000000000\n")
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Publish("metrics/cpu", payload)
+	}
+}
+
+// BenchmarkO5_PubSubNoSubscribers is the ablation: publisher attached but
+// nobody listening (the common deployment until an analyzer connects).
+func BenchmarkO5_PubSubNoSubscribers(b *testing.B) {
+	pub, err := pubsub.NewPublisher("127.0.0.1:0", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	payload := []byte("cpu,hostname=h1 value=1 1500000000000000000\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Publish("metrics/cpu", payload)
+	}
+}
+
+// --- O6: HPM collection ---------------------------------------------------------
+
+// BenchmarkO6_HPMCollection measures one full likwid-style measurement
+// cycle on a 20-core node: stop, evaluate all MEM_DP metrics for all
+// threads, restart, emit points.
+func BenchmarkO6_HPMCollection(b *testing.B) {
+	machine, err := hpm.NewMachine(benchTopo())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.NewTriad(20, 1e12)
+	for core := 0; core < 20; core++ {
+		if err := machine.SetRates(core, w.ProfileAt(1, core).Rates(2200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plugin := &collector.HPMPlugin{Machine: machine, GroupName: "MEM_DP"}
+	if _, err := plugin.Collect(time.Unix(0, 0)); err != nil { // arm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = machine.Advance(60)
+		pts, err := plugin.Collect(time.Unix(int64(i+1)*60, 0))
+		if err != nil || len(pts) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkO6_HPMFormulaEval isolates the formula evaluator, the innermost
+// loop of metric derivation.
+func BenchmarkO6_HPMFormulaEval(b *testing.B) {
+	f := hpm.MustCompileFormula("1.0E-06*(PMC0*2.0+PMC1+PMC2*4.0)/time")
+	vars := map[string]float64{"PMC0": 1e9, "PMC1": 5e8, "PMC2": 2e9, "time": 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Eval(vars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- X1: extension, stream analyzer -----------------------------------------
+
+// BenchmarkX1_StreamAnalyzerHandle measures the online analyzer's cost per
+// published 100-point batch (decode + aggregate + rule feed).
+func BenchmarkX1_StreamAnalyzerHandle(b *testing.B) {
+	a := stream.New(stream.Config{})
+	payload, err := lineproto.Encode(routerBatch(100, "h1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Handle("metrics/cpu", payload)
+	}
+	_, processed, _ := a.Snapshot()
+	if processed == 0 {
+		b.Fatal("nothing processed")
+	}
+}

@@ -1,0 +1,104 @@
+// Command lms-analyze performs the offline in-depth analysis of Sect. V on
+// a job's monitoring data: the resource-utilization evaluation table
+// (Fig. 2), pathological-interval detection with threshold + timeout rules
+// (Fig. 4) and the performance-pattern decision tree.
+//
+// Data is loaded from a line-protocol dump file (as produced by recording
+// the router stream or exporting from the database).
+//
+// Usage:
+//
+//	lms-analyze -data job.lp -job 42 -user alice -nodes node01,node02 \
+//	            -start 2017-08-04T10:00:00Z -end 2017-08-04T12:00:00Z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/lineproto"
+	"repro/internal/tsdb"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lms-analyze: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	dataPath := flag.String("data", "", "line-protocol dump file (required)")
+	jobID := flag.String("job", "", "job id (required)")
+	user := flag.String("user", "", "job owner")
+	nodesArg := flag.String("nodes", "", "comma-separated node list (default: hostnames found in the data)")
+	startArg := flag.String("start", "", "job start (RFC3339; default: earliest sample)")
+	endArg := flag.String("end", "", "job end (RFC3339; default: latest sample)")
+	peakBW := flag.Float64("peak-membw", 60000, "achievable node memory bandwidth [MB/s] for the pattern tree")
+	peakFlops := flag.Float64("peak-flops", 352000, "peak node DP rate [MFLOP/s] for the pattern tree")
+	flag.Parse()
+
+	if *dataPath == "" || *jobID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*dataPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pts, err := lineproto.Parse(raw)
+	if err != nil {
+		fatalf("parse %s: %v", *dataPath, err)
+	}
+	if len(pts) == 0 {
+		fatalf("no points in %s", *dataPath)
+	}
+	db := tsdb.NewDB("offline")
+	if err := db.WritePoints(pts); err != nil {
+		fatalf("load: %v", err)
+	}
+
+	var nodes []string
+	if *nodesArg != "" {
+		nodes = strings.Split(*nodesArg, ",")
+	} else {
+		nodes = db.TagValues("", "hostname")
+	}
+	if len(nodes) == 0 {
+		fatalf("no nodes given and no hostname tags found")
+	}
+
+	start, end := pts[0].Time, pts[0].Time
+	for _, p := range pts {
+		if p.Time.Before(start) {
+			start = p.Time
+		}
+		if p.Time.After(end) {
+			end = p.Time
+		}
+	}
+	if *startArg != "" {
+		if start, err = time.Parse(time.RFC3339, *startArg); err != nil {
+			fatalf("bad -start: %v", err)
+		}
+	}
+	if *endArg != "" {
+		if end, err = time.Parse(time.RFC3339, *endArg); err != nil {
+			fatalf("bad -end: %v", err)
+		}
+	}
+
+	ev := &analysis.Evaluator{DB: db, PeakMemBWMBs: *peakBW, PeakDPMFlops: *peakFlops}
+	rep, err := ev.Evaluate(analysis.JobMeta{
+		ID: *jobID, User: *user, Nodes: nodes, Start: start, End: end,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(rep.FormatTable())
+	if rep.Pathological() {
+		os.Exit(3) // scriptable: non-zero for flagged jobs
+	}
+}

@@ -1,0 +1,99 @@
+// Command lms-dashboard is the dashboard agent in offline mode: from a
+// line-protocol dump it generates the Grafana-model dashboard JSON for a
+// job out of the panel templates (paper Sect. III-D) and optionally renders
+// the panels as text graphs.
+//
+// Usage:
+//
+//	lms-dashboard -data job.lp -job 42 -user alice -nodes node01,node02 \
+//	              -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dashboard"
+	"repro/internal/lineproto"
+	"repro/internal/tsdb"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lms-dashboard: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	dataPath := flag.String("data", "", "line-protocol dump file (required)")
+	jobID := flag.String("job", "", "job id (required)")
+	user := flag.String("user", "", "job owner")
+	nodesArg := flag.String("nodes", "", "comma-separated node list (default: hostnames in the data)")
+	render := flag.Bool("render", false, "render the panels as text instead of emitting JSON")
+	flag.Parse()
+	if *dataPath == "" || *jobID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*dataPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pts, err := lineproto.Parse(raw)
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	if len(pts) == 0 {
+		fatalf("empty dump")
+	}
+	store := tsdb.NewStore()
+	db := store.CreateDatabase("lms")
+	if err := db.WritePoints(pts); err != nil {
+		fatalf("load: %v", err)
+	}
+
+	var nodes []string
+	if *nodesArg != "" {
+		nodes = strings.Split(*nodesArg, ",")
+	} else {
+		nodes = db.TagValues("", "hostname")
+	}
+	start, end := pts[0].Time, pts[0].Time
+	for _, p := range pts {
+		if p.Time.Before(start) {
+			start = p.Time
+		}
+		if p.Time.After(end) {
+			end = p.Time
+		}
+	}
+
+	agent := &dashboard.Agent{DB: db, Evaluator: &analysis.Evaluator{DB: db}}
+	d, err := agent.GenerateJobDashboard(analysis.JobMeta{
+		ID: *jobID, User: *user, Nodes: nodes,
+		Start: start, End: end.Add(time.Second),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := d.Validate(); err != nil {
+		fatalf("generated dashboard invalid: %v", err)
+	}
+	if *render {
+		text, err := dashboard.RenderDashboard(store, "lms", d)
+		if err != nil {
+			fatalf("render: %v", err)
+		}
+		fmt.Print(text)
+		return
+	}
+	out, err := d.MarshalIndent()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(string(out))
+}

@@ -1,0 +1,33 @@
+// Command lms-db runs the standalone time-series database back-end of the
+// LIKWID Monitoring Stack: an InfluxDB-compatible HTTP server
+// (POST /write, GET /query, GET /ping).
+//
+// Usage:
+//
+//	lms-db -addr :8086 -db lms -retention 720h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/tsdb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8086", "listen address")
+	dbName := flag.String("db", "lms", "database to create at startup")
+	retention := flag.Duration("retention", 0, "drop data older than this (0 = keep forever)")
+	flag.Parse()
+
+	store := tsdb.NewStore()
+	db := store.CreateDatabase(*dbName)
+	if *retention > 0 {
+		db.SetRetention(*retention)
+	}
+	handler := tsdb.NewHandler(store)
+	fmt.Printf("lms-db: serving database %q on %s\n", *dbName, *addr)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}

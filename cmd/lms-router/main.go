@@ -1,0 +1,59 @@
+// Command lms-router runs the standalone LMS metrics router. It mimics the
+// InfluxDB /write interface, tags incoming metrics with job information
+// from its tag store, forwards them to the database back-end, optionally
+// duplicates job metrics into per-user databases and publishes everything
+// on a ZeroMQ-style PUB socket.
+//
+// Job signals are received on POST /api/job/start and /api/job/end with a
+// JSON body {"jobid": "...", "username": "...", "nodes": ["h1", ...]}.
+//
+// Usage:
+//
+//	lms-router -addr :8090 -db-url http://localhost:8086 -db lms \
+//	           -user-dbs -publish 0.0.0.0:5571
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/pubsub"
+	"repro/internal/router"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	dbURL := flag.String("db-url", "http://127.0.0.1:8086", "database back-end base URL")
+	dbName := flag.String("db", "lms", "primary database name")
+	userDBs := flag.Bool("user-dbs", false, "duplicate job metrics into per-user databases")
+	publish := flag.String("publish", "", "ZeroMQ-style publisher listen address (empty = off)")
+	hwm := flag.Int("publish-hwm", 0, "publisher high-water mark (0 = default)")
+	flag.Parse()
+
+	cfg := router.Config{
+		Primary: &tsdb.Client{BaseURL: *dbURL, Database: *dbName},
+	}
+	if *userDBs {
+		cfg.UserSink = func(user string) router.Sink {
+			return &tsdb.Client{BaseURL: *dbURL, Database: "user_" + user}
+		}
+	}
+	if *publish != "" {
+		pub, err := pubsub.NewPublisher(*publish, *hwm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pub.Close()
+		cfg.Publisher = pub
+		fmt.Printf("lms-router: publishing on %s\n", pub.Addr())
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lms-router: forwarding to %s (db %q) on %s\n", *dbURL, *dbName, *addr)
+	log.Fatal(http.ListenAndServe(*addr, rt))
+}

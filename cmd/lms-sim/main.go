@@ -1,0 +1,232 @@
+// Command lms-sim runs the complete LIKWID Monitoring Stack against a
+// simulated cluster and reproduces the paper's figures (see EXPERIMENTS.md
+// for the mapping):
+//
+//	-scenario minimd        application-level monitoring of miniMD (Fig. 3)
+//	-scenario pathological  four-node job with a >10 min compute break (Fig. 4)
+//	-scenario mixed         a small production mix for the admin view (Fig. 2)
+//
+// While the simulation runs, the web viewer is served on -http (default
+// :8080): "/" is the administrator view with all running jobs, "/job/<id>"
+// the per-job user view, "/api/dashboard/<id>" the generated Grafana JSON.
+// After the run the per-job evaluation tables are printed, and -dump writes
+// the collected raw data as a line-protocol file for lms-analyze /
+// lms-dashboard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/jobsched"
+	"repro/internal/lineproto"
+	"repro/internal/tsdb"
+	"repro/internal/workload"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lms-sim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type scenario struct {
+	nodes    int
+	duration float64
+	submit   func(sim *core.Simulation) error
+}
+
+func scenarios() map[string]scenario {
+	return map[string]scenario{
+		"minimd": {
+			nodes:    1,
+			duration: 0, // model duration + slack, filled below
+			submit: func(sim *core.Simulation) error {
+				mm := workload.NewMiniMD(20, 2097152, 40000)
+				return sim.SubmitJob(jobsched.JobRequest{
+					ID: "1234.master", User: "alice", Nodes: 1,
+				}, mm)
+			},
+		},
+		"pathological": {
+			nodes:    4,
+			duration: 7200,
+			submit: func(sim *core.Simulation) error {
+				// Fig. 4: computation break from minute 40 to minute 58.
+				w := workload.NewIdleBreak(20, 6600, 2400, 3480)
+				return sim.SubmitJob(jobsched.JobRequest{
+					ID: "4711.master", User: "bob", Nodes: 4,
+				}, w)
+			},
+		},
+		"mixed": {
+			nodes:    8,
+			duration: 5400,
+			submit: func(sim *core.Simulation) error {
+				jobs := []struct {
+					id, user string
+					nodes    int
+					model    workload.Model
+				}{
+					{"2001.master", "alice", 2, workload.NewTriad(20, 3600)},
+					{"2002.master", "bob", 4, workload.NewDGEMM(20, 2400)},
+					{"2003.master", "carol", 1, workload.NewMiniMD(20, 2097152, 30000)},
+					{"2004.master", "dave", 2, &workload.LoadImbalance{Cores: 20, RuntimeSecs: 2400}},
+				}
+				for _, j := range jobs {
+					err := sim.SubmitJob(jobsched.JobRequest{
+						ID: j.id, User: j.user, Nodes: j.nodes,
+					}, j.model)
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func main() {
+	scenarioName := flag.String("scenario", "mixed", "minimd, pathological or mixed")
+	httpAddr := flag.String("http", ":8080", "web viewer listen address (empty = off)")
+	dbAddr := flag.String("db-http", "", "serve the InfluxDB-compatible API here (empty = off)")
+	publish := flag.String("publish", "", "ZeroMQ-style publisher address (empty = off)")
+	interval := flag.Float64("interval", 60, "collection interval in simulated seconds")
+	dump := flag.String("dump", "", "write collected data as line protocol to this file")
+	flag.Parse()
+
+	sc, ok := scenarios()[*scenarioName]
+	if !ok {
+		fatalf("unknown scenario %q", *scenarioName)
+	}
+	stack, sim, err := core.NewSimulatedStack(
+		core.StackConfig{PerUserDBs: true, PubSubAddr: *publish},
+		core.SimConfig{Nodes: sc.nodes, CollectInterval: *interval},
+	)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stack.Close()
+
+	if *httpAddr != "" {
+		go func() {
+			fmt.Printf("lms-sim: web viewer on http://localhost%s/\n", *httpAddr)
+			log.Println(http.ListenAndServe(*httpAddr, stack.Viewer))
+		}()
+	}
+	if *dbAddr != "" {
+		go func() {
+			fmt.Printf("lms-sim: database API on http://localhost%s/\n", *dbAddr)
+			log.Println(http.ListenAndServe(*dbAddr, stack.DBHandler))
+		}()
+	}
+
+	if err := sc.submit(sim); err != nil {
+		fatalf("submit: %v", err)
+	}
+	duration := sc.duration
+	if duration == 0 {
+		// minimd: model duration plus slack.
+		duration = workload.NewMiniMD(20, 2097152, 40000).Duration() + 300
+	}
+	fmt.Printf("lms-sim: scenario %q on %d nodes, %.0f simulated seconds, sampling every %.0fs\n",
+		*scenarioName, sc.nodes, duration, *interval)
+	if err := sim.Run(duration); err != nil {
+		fatalf("run: %v", err)
+	}
+
+	rec, fwd, drop := stack.Router.Stats()
+	fmt.Printf("lms-sim: router received %d, forwarded %d, dropped %d points; db holds %d points\n",
+		rec, fwd, drop, stack.DB.PointCount())
+
+	// Per-job evaluation (Fig. 2 header) for every finished job, feeding
+	// the cluster usage statistics (Sect. I: statistical foundation for
+	// operational settings and procurements).
+	var usage analysis.UsageStats
+	for _, job := range sim.Sched.Finished() {
+		rep, err := stack.Evaluator.Evaluate(sim.JobMeta(job))
+		if err != nil {
+			fatalf("evaluate %s: %v", job.Req.ID, err)
+		}
+		fmt.Println()
+		fmt.Print(rep.FormatTable())
+		usage.Add(analysis.RecordFromReport(rep))
+	}
+	if usage.Len() > 0 {
+		fmt.Println()
+		fmt.Print(usage.FormatReport())
+	}
+	// Rendered user view for the first job (Fig. 3 / Fig. 4 timelines).
+	if fin := sim.Sched.Finished(); len(fin) > 0 {
+		meta := sim.JobMeta(fin[0])
+		d, err := stack.Agent.GenerateJobDashboard(meta)
+		if err != nil {
+			fatalf("dashboard: %v", err)
+		}
+		text, err := dashboard.RenderDashboard(stack.Store, stack.DBName(), d)
+		if err != nil {
+			fatalf("render: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(text)
+	}
+
+	if *dump != "" {
+		if err := dumpDB(stack.DB, *dump); err != nil {
+			fatalf("dump: %v", err)
+		}
+		fmt.Printf("lms-sim: wrote %s\n", *dump)
+	}
+}
+
+// dumpDB exports every stored point as line protocol.
+func dumpDB(db *tsdb.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, meas := range db.Measurements() {
+		series, err := db.Select(tsdb.Query{Measurement: meas, GroupByTags: db.TagKeys(meas)})
+		if err != nil {
+			return err
+		}
+		for _, s := range series {
+			for _, row := range s.Rows {
+				p := lineproto.Point{
+					Measurement: meas,
+					Tags:        map[string]string{},
+					Fields:      map[string]lineproto.Value{},
+					Time:        row.Time,
+				}
+				for k, v := range s.Tags {
+					if v != "" {
+						p.Tags[k] = v
+					}
+				}
+				for i, col := range s.Columns {
+					if row.Values[i] != nil {
+						p.Fields[col] = *row.Values[i]
+					}
+				}
+				if len(p.Fields) == 0 {
+					continue
+				}
+				enc, err := lineproto.EncodePoint(p)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Write(append(enc, '\n')); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

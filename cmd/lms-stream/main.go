@@ -1,0 +1,69 @@
+// Command lms-stream attaches a stream analyzer to the router's
+// ZeroMQ-style publisher (paper Sect. III-B: "In order to attach other
+// tools like aggregators and stream analyzers to the router, the meta
+// information (job starts, tags, ...) and the metrics can be published via
+// ZeroMQ").
+//
+// It maintains running aggregates per series, prints job start/end meta
+// messages, raises online threshold alarms the moment a rule's sustained
+// window crosses its timeout, and dumps an aggregate snapshot every
+// -snapshot interval.
+//
+// Usage:
+//
+//	lms-stream -publisher 127.0.0.1:5571 -snapshot 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	pubAddr := flag.String("publisher", "127.0.0.1:5571", "router publisher address")
+	snapshot := flag.Duration("snapshot", 30*time.Second, "aggregate snapshot interval (0 = off)")
+	flag.Parse()
+
+	a := stream.New(stream.Config{
+		OnAlarm: func(al stream.Alarm) {
+			fmt.Printf("ALARM host=%s job=%s %s\n", al.Host, al.JobID, al.Violation.String())
+		},
+		OnJob: func(ev stream.JobEvent) {
+			kind := "end"
+			if ev.Start {
+				kind = "start"
+			}
+			fmt.Printf("JOB %s id=%s user=%s nodes=%s\n",
+				kind, ev.JobID, ev.User, strings.Join(ev.Nodes, ","))
+		},
+	})
+	if err := a.Attach(*pubAddr); err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	fmt.Printf("lms-stream: attached to %s\n", *pubAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if *snapshot > 0 {
+		tick := time.NewTicker(*snapshot)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Print(a.FormatSnapshot())
+			case <-sig:
+				return
+			}
+		}
+	}
+	<-sig
+}

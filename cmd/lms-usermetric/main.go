@@ -1,0 +1,104 @@
+// Command lms-usermetric is the libusermetric command line tool of paper
+// Sect. IV: "For use in batch scripts, a command line application can send
+// metrics and events from the shell." The miniMD use case of Fig. 3 sends
+// its application start/end events with exactly this tool.
+//
+// Usage:
+//
+//	lms-usermetric -endpoint http://router:8090 -tag hostname=node01 \
+//	               metric pressure 5.9
+//	lms-usermetric -endpoint http://router:8090 -tag hostname=node01 \
+//	               event "starting miniMD"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/usermetric"
+)
+
+type tagFlags map[string]string
+
+func (t tagFlags) String() string { return fmt.Sprint(map[string]string(t)) }
+
+func (t tagFlags) Set(s string) error {
+	idx := strings.IndexByte(s, '=')
+	if idx <= 0 {
+		return fmt.Errorf("tag must be key=value, got %q", s)
+	}
+	t[s[:idx]] = s[idx+1:]
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  lms-usermetric [flags] metric <name> <value> [<field>=<value>...]
+  lms-usermetric [flags] event <text>
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	endpoint := flag.String("endpoint", "http://127.0.0.1:8090", "router or database base URL")
+	dbName := flag.String("db", "lms", "database name")
+	tags := tagFlags{}
+	flag.Var(tags, "tag", "default tag key=value (repeatable); include hostname for job tagging")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+
+	if _, ok := tags["hostname"]; !ok {
+		if h, err := os.Hostname(); err == nil {
+			tags["hostname"] = h
+		}
+	}
+	client, err := usermetric.New(usermetric.Config{
+		Endpoint:      *endpoint,
+		Database:      *dbName,
+		DefaultTags:   tags,
+		FlushInterval: -1, // single shot
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lms-usermetric:", err)
+		os.Exit(1)
+	}
+
+	switch args[0] {
+	case "metric":
+		if len(args) < 3 {
+			usage()
+		}
+		name := args[1]
+		value, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lms-usermetric: bad value %q: %v\n", args[2], err)
+			os.Exit(1)
+		}
+		if err := client.Metric(name, value, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "lms-usermetric:", err)
+			os.Exit(1)
+		}
+	case "event":
+		text := strings.Join(args[1:], " ")
+		if err := client.Event(text, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "lms-usermetric:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+	if err := client.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lms-usermetric: send:", err)
+		os.Exit(1)
+	}
+}

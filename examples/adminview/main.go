@@ -1,0 +1,98 @@
+// Administrator main view and online job evaluation, reproducing paper
+// Fig. 2: a small production mix runs on the cluster; mid-run, the admin
+// view lists all currently running jobs with thumbnails, and loading a
+// job's dashboard computes the evaluation header "with data from the start
+// of the job until the loading of the Grafana dashboard".
+//
+// The example also serves the real web viewer for a moment and fetches the
+// admin page over HTTP, exercising the full front-end path.
+//
+//	go run ./examples/adminview
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	lms "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	stack, sim, err := lms.NewSimulatedStack(
+		lms.StackConfig{PerUserDBs: true},
+		lms.SimConfig{Nodes: 8, CollectInterval: 60},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+
+	submissions := []struct {
+		id, user string
+		nodes    int
+		model    lms.WorkloadModel
+	}{
+		{"2001.master", "alice", 2, lms.NewTriad(20, 3600)},
+		{"2002.master", "bob", 4, lms.NewDGEMM(20, 3600)},
+		{"2003.master", "carol", 1, lms.NewMiniMD(20, 2097152, 30000)},
+		{"2004.master", "dave", 1, &workload.LoadImbalance{Cores: 20, RuntimeSecs: 3600}},
+	}
+	for _, s := range submissions {
+		err := sim.SubmitJob(lms.JobRequest{ID: s.id, User: s.user, Nodes: s.nodes}, s.model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Run 30 simulated minutes: all four jobs are mid-flight.
+	if err := sim.Run(1800); err != nil {
+		log.Fatal(err)
+	}
+
+	// The admin view over HTTP, as an administrator's browser would see it.
+	srv := httptest.NewServer(stack.Viewer)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== admin view (GET /) ==")
+	fmt.Println(string(page))
+
+	// The online evaluation header of one running job, Fig. 2: computed
+	// from job start until "now" (the moment the dashboard is loaded).
+	for _, job := range sim.Sched.Running() {
+		meta := sim.JobMeta(job)
+		meta.End = lms.SimTime(sim.Now())
+		report, err := stack.Evaluator.Evaluate(meta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(report.FormatTable())
+	}
+
+	// The generated Grafana-model dashboard JSON for one job, which the
+	// original agent would push to Grafana's API.
+	running := sim.Sched.Running()
+	if len(running) > 0 {
+		meta := sim.JobMeta(running[0])
+		meta.End = lms.SimTime(sim.Now())
+		d, err := stack.Agent.GenerateJobDashboard(meta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, _ := d.MarshalIndent()
+		fmt.Printf("\n== generated dashboard JSON for job %s (%d bytes, %d rows) ==\n",
+			meta.ID, len(out), len(d.Rows))
+	}
+}

@@ -1,0 +1,99 @@
+// Online stream analysis, the Sect. III-B integration point: a stream
+// analyzer attaches to the router's ZeroMQ-style publisher over TCP,
+// observes the live metric feed of a pathological job, and raises the
+// low-FP-rate alarm while the job is still running — before any offline
+// analysis sees the data. Afterwards the accumulated usage statistics
+// (Sect. I: "statistical foundation about application specific system
+// usage") are printed for all finished jobs.
+//
+//	go run ./examples/streamwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	lms "repro"
+	"repro/internal/analysis"
+	"repro/internal/stream"
+)
+
+func main() {
+	// A stack with the publisher enabled on an ephemeral port.
+	stack, sim, err := lms.NewSimulatedStack(
+		lms.StackConfig{PubSubAddr: "127.0.0.1:0"},
+		lms.SimConfig{Nodes: 4, CollectInterval: 60},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+
+	// The analyzer attaches over TCP like an external tool would.
+	var mu sync.Mutex
+	var alarms []stream.Alarm
+	analyzer := stream.New(stream.Config{
+		OnAlarm: func(al stream.Alarm) {
+			mu.Lock()
+			alarms = append(alarms, al)
+			mu.Unlock()
+			fmt.Printf("ONLINE ALARM  host=%s job=%s  %s\n", al.Host, al.JobID, al.Violation.String())
+		},
+		OnJob: func(ev stream.JobEvent) {
+			kind := "end"
+			if ev.Start {
+				kind = "start"
+			}
+			fmt.Printf("JOB %-5s id=%s user=%s nodes=%v\n", kind, ev.JobID, ev.User, ev.Nodes)
+		},
+	})
+	if err := analyzer.Attach(stack.Publisher.Addr()); err != nil {
+		log.Fatal(err)
+	}
+	defer analyzer.Close()
+
+	// Give the TCP subscription a moment to become active before the
+	// simulation floods the publisher.
+	time.Sleep(100 * time.Millisecond)
+
+	// A healthy job and the Fig. 4 pathological job side by side.
+	if err := sim.SubmitJob(lms.JobRequest{ID: "ok.1", User: "alice", Nodes: 2}, lms.NewDGEMM(20, 5400)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.SubmitJob(lms.JobRequest{ID: "bad.1", User: "bob", Nodes: 2},
+		lms.NewIdleBreak(20, 5400, 1200, 2400)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(6000); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait for the published tail to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(alarms)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Println()
+	fmt.Print(analyzer.FormatSnapshot())
+
+	// Usage statistics over the finished jobs (procurement view).
+	var usage analysis.UsageStats
+	for _, job := range sim.Sched.Finished() {
+		rep, err := stack.Evaluator.Evaluate(sim.JobMeta(job))
+		if err != nil {
+			log.Fatal(err)
+		}
+		usage.Add(analysis.RecordFromReport(rep))
+	}
+	fmt.Println()
+	fmt.Print(usage.FormatReport())
+}

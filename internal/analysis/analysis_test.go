@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func tv(sec int64, v float64) TimedValue {
+	return TimedValue{T: time.Unix(sec, 0).UTC(), V: v}
+}
+
+func lowFlopsRule() Rule {
+	return Rule{
+		Name: "low_flops", Measurement: "likwid_mem_dp", Field: "dp_mflop_s",
+		Cond: Below, Threshold: 100, Timeout: 10 * time.Minute,
+		Description: "DP FP rate below 100 MFLOP/s",
+	}
+}
+
+func TestDetectFig4Scenario(t *testing.T) {
+	// Fig. 4: computation, then a >10 minute break with the FP rate below
+	// threshold, then computation resumes. Samples every 60 s.
+	rule := lowFlopsRule()
+	var series []TimedValue
+	for i := 0; i < 120; i++ {
+		v := 2000.0 // healthy
+		if i >= 30 && i < 45 {
+			v = 5.0 // 15 minutes of near-idle
+		}
+		series = append(series, tv(int64(i*60), v))
+	}
+	got := Detect(rule, series)
+	if len(got) != 1 {
+		t.Fatalf("violations %d", len(got))
+	}
+	v := got[0]
+	if v.Start.Unix() != 30*60 || v.End.Unix() != 44*60 {
+		t.Fatalf("interval %v..%v", v.Start, v.End)
+	}
+	if v.Duration() != 14*time.Minute {
+		t.Fatalf("duration %v", v.Duration())
+	}
+	if v.Extremum != 5 || v.Samples != 15 {
+		t.Fatalf("%+v", v)
+	}
+	if !strings.Contains(v.String(), "low_flops") {
+		t.Fatalf("string %q", v.String())
+	}
+}
+
+func TestDetectShortDipIgnored(t *testing.T) {
+	rule := lowFlopsRule()
+	var series []TimedValue
+	for i := 0; i < 60; i++ {
+		v := 2000.0
+		if i >= 20 && i < 25 { // only 4 minutes below
+			v = 5.0
+		}
+		series = append(series, tv(int64(i*60), v))
+	}
+	if got := Detect(rule, series); len(got) != 0 {
+		t.Fatalf("short dip flagged: %+v", got)
+	}
+}
+
+func TestDetectMultipleViolations(t *testing.T) {
+	rule := lowFlopsRule()
+	var series []TimedValue
+	for i := 0; i < 200; i++ {
+		v := 2000.0
+		if (i >= 20 && i < 40) || (i >= 100 && i < 140) {
+			v = 1.0
+		}
+		series = append(series, tv(int64(i*60), v))
+	}
+	got := Detect(rule, series)
+	if len(got) != 2 {
+		t.Fatalf("violations %d", len(got))
+	}
+	if got[0].Duration() != 19*time.Minute || got[1].Duration() != 39*time.Minute {
+		t.Fatalf("durations %v %v", got[0].Duration(), got[1].Duration())
+	}
+}
+
+func TestDetectAboveCondition(t *testing.T) {
+	rule := Rule{Name: "mem", Cond: Above, Threshold: 95, Timeout: time.Minute}
+	series := []TimedValue{
+		tv(0, 50), tv(60, 96), tv(120, 98), tv(180, 99), tv(240, 50),
+	}
+	got := Detect(rule, series)
+	if len(got) != 1 {
+		t.Fatalf("violations %+v", got)
+	}
+	if got[0].Extremum != 99 {
+		t.Fatalf("extremum %v", got[0].Extremum)
+	}
+	if Above.String() != "above" || Below.String() != "below" {
+		t.Fatal("condition strings")
+	}
+}
+
+func TestDetectEdges(t *testing.T) {
+	rule := lowFlopsRule()
+	if got := Detect(rule, nil); got != nil {
+		t.Fatal("nil series")
+	}
+	// Single sample: zero span, below any positive timeout.
+	if got := Detect(rule, []TimedValue{tv(0, 1)}); len(got) != 0 {
+		t.Fatal("single sample flagged")
+	}
+	// Zero timeout: even one sample is a violation.
+	rule.Timeout = 0
+	if got := Detect(rule, []TimedValue{tv(0, 1)}); len(got) != 1 {
+		t.Fatal("zero timeout missed")
+	}
+	// Violation running to the end of the series is reported.
+	rule.Timeout = 10 * time.Minute
+	var series []TimedValue
+	for i := 0; i < 20; i++ {
+		series = append(series, tv(int64(i*60), 1))
+	}
+	got := Detect(rule, series)
+	if len(got) != 1 || got[0].End.Unix() != 19*60 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestDetectStreamingMatchesBatch(t *testing.T) {
+	rule := lowFlopsRule()
+	var series []TimedValue
+	for i := 0; i < 120; i++ {
+		v := 2000.0
+		if i >= 30 && i < 45 {
+			v = 5.0
+		}
+		series = append(series, tv(int64(i*60), v))
+	}
+	ds := &DetectStreaming{Rule: rule}
+	var last Violation
+	fired := 0
+	var firstFire time.Time
+	for _, s := range series {
+		if v, ok := ds.Feed(s); ok {
+			if fired == 0 {
+				firstFire = s.T
+			}
+			fired++
+			last = v
+		}
+	}
+	if fired == 0 {
+		t.Fatal("streaming never fired")
+	}
+	// First alarm exactly when the sustained window reaches the timeout:
+	// run starts at sample 30 (t=1800 s), timeout 10 min -> t=2400 s.
+	if firstFire.Unix() != 30*60+600 {
+		t.Fatalf("first fire at %v", firstFire)
+	}
+	batch := Detect(rule, series)[0]
+	if !last.Start.Equal(batch.Start) || !last.End.Equal(batch.End) || last.Extremum != batch.Extremum {
+		t.Fatalf("streaming %+v vs batch %+v", last, batch)
+	}
+}
+
+func TestDetectStreamingResets(t *testing.T) {
+	rule := Rule{Cond: Below, Threshold: 10, Timeout: 2 * time.Minute}
+	ds := &DetectStreaming{Rule: rule}
+	if _, ok := ds.Feed(tv(0, 1)); ok {
+		t.Fatal("fired too early")
+	}
+	if _, ok := ds.Feed(tv(60, 1)); ok {
+		t.Fatal("fired before timeout")
+	}
+	// Recovery resets the run.
+	if _, ok := ds.Feed(tv(120, 100)); ok {
+		t.Fatal("fired on healthy sample")
+	}
+	if _, ok := ds.Feed(tv(180, 1)); ok {
+		t.Fatal("fired right after reset")
+	}
+	if _, ok := ds.Feed(tv(300, 1)); !ok {
+		t.Fatal("did not fire after new sustained window")
+	}
+}
+
+// Property: batch detection finds exactly the maximal runs >= timeout.
+func TestDetectProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	rule := Rule{Cond: Below, Threshold: 0.5, Timeout: 5 * time.Minute}
+	f := func(seed int64) bool {
+		_ = seed
+		n := r.Intn(200) + 2
+		series := make([]TimedValue, n)
+		below := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := r.Float64()
+			series[i] = tv(int64(i*60), v)
+			below[i] = v < 0.5
+		}
+		got := Detect(rule, series)
+		// Reference: scan runs.
+		var want []struct{ start, end int }
+		i := 0
+		for i < n {
+			if !below[i] {
+				i++
+				continue
+			}
+			j := i
+			for j+1 < n && below[j+1] {
+				j++
+			}
+			if (j-i)*60 >= 300 {
+				want = append(want, struct{ start, end int }{i, j})
+			}
+			i = j + 1
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if got[k].Start.Unix() != int64(want[k].start*60) || got[k].End.Unix() != int64(want[k].end*60) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats([]float64{4, 1, 3, 2})
+	if s.Min != 1 || s.Max != 4 || s.Median != 2.5 || s.Mean != 2.5 || s.N != 4 {
+		t.Fatalf("%+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev %v want %v", s.Stddev, want)
+	}
+	odd := ComputeStats([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median %v", odd.Median)
+	}
+	if z := ComputeStats(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("%+v", z)
+	}
+	one := ComputeStats([]float64{7})
+	if one.Stddev != 0 || one.Median != 7 {
+		t.Fatalf("%+v", one)
+	}
+}
+
+func TestImbalanceFrac(t *testing.T) {
+	if ImbalanceFrac([]float64{10, 10, 10}) != 0 {
+		t.Error("balanced")
+	}
+	if got := ImbalanceFrac([]float64{10, 0}); got != 1 {
+		t.Errorf("fully imbalanced %v", got)
+	}
+	if got := ImbalanceFrac([]float64{10, 5}); got != 0.5 {
+		t.Errorf("half %v", got)
+	}
+	if ImbalanceFrac([]float64{5}) != 0 || ImbalanceFrac(nil) != 0 {
+		t.Error("degenerate")
+	}
+	if ImbalanceFrac([]float64{0, 0}) != 0 {
+		t.Error("all zero")
+	}
+}
+
+func TestClassifyLeaves(t *testing.T) {
+	peak := PatternInput{PeakMemBWMBs: 50000, PeakDPMFlops: 300000}
+	cases := []struct {
+		name string
+		in   PatternInput
+		want Pattern
+	}{
+		{"idle", PatternInput{CPUUtil: 0.02}, PatternIdle},
+		{"imbalance", with(peak, func(p *PatternInput) { p.CPUUtil = 0.9; p.Imbalance = 0.8 }), PatternLoadImbalance},
+		{"bandwidth", with(peak, func(p *PatternInput) {
+			p.CPUUtil = 0.9
+			p.MemBWMBs = 45000
+			p.IPC = 0.7
+		}), PatternBandwidthBound},
+		{"compute", with(peak, func(p *PatternInput) {
+			p.CPUUtil = 0.95
+			p.DPMFlops = 200000
+			p.IPC = 2.5
+		}), PatternComputeBound},
+		{"branching", with(peak, func(p *PatternInput) {
+			p.CPUUtil = 0.9
+			p.IPC = 1.0
+			p.BranchMissRatio = 0.2
+		}), PatternBranching},
+		{"latency", with(peak, func(p *PatternInput) {
+			p.CPUUtil = 0.9
+			p.IPC = 0.3
+		}), PatternLatencyBound},
+		{"balanced", with(peak, func(p *PatternInput) {
+			p.CPUUtil = 0.9
+			p.IPC = 1.5
+		}), PatternBalanced},
+	}
+	for _, c := range cases {
+		got := Classify(c.in)
+		if got.Pattern != c.want {
+			t.Errorf("%s: got %s want %s (path %v)", c.name, got.Pattern, c.want, got.Path)
+		}
+		if len(got.Path) == 0 || got.Advice == "" {
+			t.Errorf("%s: missing explainability: %+v", c.name, got)
+		}
+	}
+}
+
+func with(base PatternInput, f func(*PatternInput)) PatternInput {
+	f(&base)
+	return base
+}
+
+// Property: the decision tree is total — every random input classifies.
+func TestClassifyTotalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	valid := map[Pattern]bool{
+		PatternIdle: true, PatternLoadImbalance: true, PatternBandwidthBound: true,
+		PatternComputeBound: true, PatternLatencyBound: true, PatternBranching: true,
+		PatternBalanced: true,
+	}
+	f := func(seed int64) bool {
+		_ = seed
+		in := PatternInput{
+			CPUUtil:         r.Float64(),
+			IPC:             r.Float64() * 4,
+			DPMFlops:        r.Float64() * 1e6,
+			MemBWMBs:        r.Float64() * 1e5,
+			PeakMemBWMBs:    r.Float64() * 1e5,
+			PeakDPMFlops:    r.Float64() * 1e6,
+			Imbalance:       r.Float64(),
+			BranchMissRatio: r.Float64() / 2,
+		}
+		c := Classify(in)
+		return valid[c.Pattern] && len(c.Path) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import "fmt"
+
+// Pattern is one leaf of the performance-pattern systematic (Treibig,
+// Hager, Wellein: "Performance patterns and hardware metrics on modern
+// multicore processors", ref [17] of the paper), refined into a decision
+// tree in the FEPA project [8]. The monitoring stack uses the tree to mark
+// applications with significant optimization potential.
+type Pattern string
+
+// The pattern leaves of the decision tree.
+const (
+	PatternIdle           Pattern = "idle"
+	PatternLoadImbalance  Pattern = "load_imbalance"
+	PatternBandwidthBound Pattern = "bandwidth_saturation"
+	PatternComputeBound   Pattern = "compute_bound"
+	PatternLatencyBound   Pattern = "data_access_latency"
+	PatternBranching      Pattern = "excess_branching"
+	PatternBalanced       Pattern = "no_pathology"
+)
+
+// PatternInput is the metric vector the tree consumes, all values node-level
+// aggregates over the job runtime.
+type PatternInput struct {
+	// CPUUtil is the mean CPU utilization fraction (0..1).
+	CPUUtil float64
+	// IPC is the mean instructions per cycle.
+	IPC float64
+	// DPMFlops is the node double-precision FP rate in MFLOP/s.
+	DPMFlops float64
+	// MemBWMBs is the node memory bandwidth in MBytes/s.
+	MemBWMBs float64
+	// PeakMemBWMBs is the achievable node bandwidth (for saturation).
+	PeakMemBWMBs float64
+	// PeakDPMFlops is the nominal node peak FP rate.
+	PeakDPMFlops float64
+	// Imbalance is the per-node (or per-core) work imbalance fraction
+	// (see ImbalanceFrac).
+	Imbalance float64
+	// BranchMissRatio is mispredicted branches / branches.
+	BranchMissRatio float64
+}
+
+// Thresholds of the decision tree. Exported so sites can tune them the way
+// the FEPA tree is configurable.
+var (
+	IdleUtilThreshold        = 0.10
+	ImbalanceThreshold       = 0.50
+	BandwidthSaturation      = 0.70 // fraction of peak considered saturated
+	ComputeSaturation        = 0.50 // fraction of FP peak considered compute bound
+	LatencyIPCThreshold      = 0.60
+	BranchMissRatioThreshold = 0.10
+)
+
+// Classification is the tree's verdict plus the decision path for
+// explainability (administrators must understand why a job was flagged).
+type Classification struct {
+	Pattern Pattern
+	// Path lists the decisions taken from root to leaf.
+	Path []string
+	// Advice is a one-line optimization hint for the user feedback view.
+	Advice string
+}
+
+// Classify runs the decision tree. The tree is total: every input reaches
+// a leaf.
+func Classify(in PatternInput) Classification {
+	var path []string
+	step := func(format string, args ...interface{}) {
+		path = append(path, fmt.Sprintf(format, args...))
+	}
+
+	if in.CPUUtil < IdleUtilThreshold {
+		step("cpu utilization %.2f < %.2f -> idle", in.CPUUtil, IdleUtilThreshold)
+		return Classification{Pattern: PatternIdle, Path: path,
+			Advice: "job occupies nodes without using them; check for hangs, serial phases or wrong resource requests"}
+	}
+	step("cpu utilization %.2f >= %.2f", in.CPUUtil, IdleUtilThreshold)
+
+	if in.Imbalance > ImbalanceThreshold {
+		step("imbalance %.2f > %.2f -> load imbalance", in.Imbalance, ImbalanceThreshold)
+		return Classification{Pattern: PatternLoadImbalance, Path: path,
+			Advice: "work is unevenly distributed; check the domain decomposition and strong-scaling limits"}
+	}
+	step("imbalance %.2f <= %.2f", in.Imbalance, ImbalanceThreshold)
+
+	if in.PeakMemBWMBs > 0 && in.MemBWMBs >= BandwidthSaturation*in.PeakMemBWMBs {
+		step("memory bandwidth %.0f >= %.0f%% of peak -> bandwidth saturation",
+			in.MemBWMBs, BandwidthSaturation*100)
+		return Classification{Pattern: PatternBandwidthBound, Path: path,
+			Advice: "memory bandwidth saturated; improve data locality, use cache blocking, or fewer cores per socket"}
+	}
+	step("memory bandwidth below saturation")
+
+	if in.PeakDPMFlops > 0 && in.DPMFlops >= ComputeSaturation*in.PeakDPMFlops {
+		step("FP rate %.0f >= %.0f%% of peak -> compute bound", in.DPMFlops, ComputeSaturation*100)
+		return Classification{Pattern: PatternComputeBound, Path: path,
+			Advice: "core execution is the bottleneck; the code runs efficiently, consider algorithmic improvements"}
+	}
+	step("FP rate below compute saturation")
+
+	if in.BranchMissRatio > BranchMissRatioThreshold {
+		step("branch misprediction ratio %.3f > %.3f -> excess branching",
+			in.BranchMissRatio, BranchMissRatioThreshold)
+		return Classification{Pattern: PatternBranching, Path: path,
+			Advice: "high branch misprediction; restructure conditionals or sort data to regularize control flow"}
+	}
+	step("branch misprediction ratio ok")
+
+	if in.IPC < LatencyIPCThreshold {
+		step("IPC %.2f < %.2f with low bandwidth -> data access latency", in.IPC, LatencyIPCThreshold)
+		return Classification{Pattern: PatternLatencyBound, Path: path,
+			Advice: "low IPC without bandwidth saturation points to latency-bound data access; check strided or random access patterns"}
+	}
+	step("IPC %.2f >= %.2f -> no pathology", in.IPC, LatencyIPCThreshold)
+
+	return Classification{Pattern: PatternBalanced, Path: path,
+		Advice: "no dominant bottleneck detected"}
+}

@@ -1,0 +1,127 @@
+// Package core wires the LIKWID Monitoring Stack together: database,
+// metrics router, pub/sub publisher, dashboard agent, web viewer and
+// analysis (paper Fig. 1). The components stay loosely coupled — each is
+// usable standalone through its own package — and core provides the
+// "complete stack" composition plus the cluster simulation driver
+// (sim.go) that stands in for real compute nodes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dashboard"
+	"repro/internal/pubsub"
+	"repro/internal/router"
+	"repro/internal/tsdb"
+)
+
+// StackConfig configures a full LMS deployment.
+type StackConfig struct {
+	// DBName is the primary database (default "lms").
+	DBName string
+	// PerUserDBs enables duplication of job metrics into "user_<name>"
+	// databases.
+	PerUserDBs bool
+	// PubSubAddr, when non-empty, starts the ZeroMQ-style publisher on the
+	// address (e.g. "127.0.0.1:0").
+	PubSubAddr string
+	// PubSubHWM is the per-subscriber high-water mark (0 = default).
+	PubSubHWM int
+	// Retention prunes data older than this from the primary DB (0 = keep).
+	Retention time.Duration
+	// PeakMemBWMBs / PeakDPMFlops parameterize the pattern decision tree.
+	PeakMemBWMBs float64
+	PeakDPMFlops float64
+	// Now overrides the router clock (simulations inject simulated time).
+	Now func() time.Time
+}
+
+// Stack is one assembled LMS instance.
+type Stack struct {
+	Store     *tsdb.Store
+	DB        *tsdb.DB
+	Router    *router.Router
+	Publisher *pubsub.Publisher
+	Evaluator *analysis.Evaluator
+	Agent     *dashboard.Agent
+	Viewer    *dashboard.Viewer
+
+	DBHandler *tsdb.Handler // InfluxDB-compatible HTTP API of the store
+	cfg       StackConfig
+}
+
+// NewStack builds and wires all components.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.DBName == "" {
+		cfg.DBName = "lms"
+	}
+	store := tsdb.NewStore()
+	db := store.CreateDatabase(cfg.DBName)
+	if cfg.Retention > 0 {
+		db.SetRetention(cfg.Retention)
+	}
+
+	var pub *pubsub.Publisher
+	if cfg.PubSubAddr != "" {
+		var err error
+		pub, err = pubsub.NewPublisher(cfg.PubSubAddr, cfg.PubSubHWM)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	rcfg := router.Config{
+		Primary:   router.LocalSink{DB: db},
+		Publisher: pub,
+		Now:       cfg.Now,
+	}
+	if cfg.PerUserDBs {
+		rcfg.UserSink = func(user string) router.Sink {
+			return router.LocalSink{DB: store.CreateDatabase("user_" + user)}
+		}
+	}
+	rt, err := router.New(rcfg)
+	if err != nil {
+		if pub != nil {
+			_ = pub.Close()
+		}
+		return nil, err
+	}
+
+	ev := &analysis.Evaluator{
+		DB:           db,
+		PeakMemBWMBs: cfg.PeakMemBWMBs,
+		PeakDPMFlops: cfg.PeakDPMFlops,
+		Now:          cfg.Now,
+	}
+	agent := &dashboard.Agent{DB: db, Evaluator: ev}
+	viewer := dashboard.NewViewer(store, cfg.DBName, rt.Jobs(), agent)
+	if cfg.Now != nil {
+		viewer.Now = cfg.Now
+	}
+
+	return &Stack{
+		Store:     store,
+		DB:        db,
+		Router:    rt,
+		Publisher: pub,
+		Evaluator: ev,
+		Agent:     agent,
+		Viewer:    viewer,
+		DBHandler: tsdb.NewHandler(store),
+		cfg:       cfg,
+	}, nil
+}
+
+// DBName returns the primary database name.
+func (s *Stack) DBName() string { return s.cfg.DBName }
+
+// Close releases network resources (the publisher).
+func (s *Stack) Close() error {
+	if s.Publisher != nil {
+		return s.Publisher.Close()
+	}
+	return nil
+}

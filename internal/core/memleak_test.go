@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/jobsched"
+	"repro/internal/workload"
+)
+
+// TestSimulationMemoryLeakDetected covers the "exceeded memory capacity"
+// pathology of paper Sect. I: a job whose allocation grows past 95% of the
+// node's memory trips the memory_exceeded rule.
+func TestSimulationMemoryLeakDetected(t *testing.T) {
+	stack, sim, err := NewSimulatedStack(
+		StackConfig{},
+		SimConfig{
+			Nodes:           1,
+			Topology:        smallTopo(),
+			MemKBPerNode:    16 * 1024 * 1024, // 16 GB node
+			CollectInterval: 30,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+
+	// Start at 4 GB, leak ~7 MB/s: crosses 95% of 16 GB (15.2 GB) after
+	// ~1640 s of the 3600 s job.
+	w := &workload.MemoryLeak{
+		Cores:       4,
+		RuntimeSecs: 3600,
+		StartKB:     4 * 1024 * 1024,
+		LeakKBPerS:  7 * 1024,
+	}
+	if err := sim.SubmitJob(jobsched.JobRequest{ID: "leak1", User: "mallory", Nodes: 1}, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	job := sim.Sched.Finished()[0]
+	rep, err := stack.Evaluator.Evaluate(sim.JobMeta(job))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule.Name == "memory_exceeded" {
+			found = true
+			if v.Extremum < 95 {
+				t.Fatalf("extremum %v below threshold", v.Extremum)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("memory_exceeded not detected; violations: %+v", rep.Violations)
+	}
+	// The allocation growth is visible in the memory row.
+	row := false
+	for _, r := range rep.Rows {
+		if r.Spec.Field == "used_kb" && r.Stats.Mean > 4 {
+			row = true
+		}
+	}
+	if !row {
+		t.Fatalf("memory row missing: %+v", rep.Rows)
+	}
+}

@@ -1,0 +1,332 @@
+// Package dashboard implements the LMS dashboard agent and web viewer
+// (paper Sect. III-D).
+//
+// In the original stack the visualization front-end is Grafana, but
+// "Grafana is not configured manually": a Grafana Agent generates the
+// dashboards out of templates, based on available databases and the metrics
+// in them. Dashboard, row and panel templates are JSON documents with
+// substitution variables; the agent selects panel templates by the
+// measurements present for the hosts participating in a job, combines them
+// into a full dashboard, and adjusts settings (time range, job tag filters)
+// for the current job. As a header, analysis results of the job are
+// presented "to see badly behaving jobs on the initial view" (Fig. 2).
+//
+// This reproduction keeps the agent logic intact — template selection,
+// JSON assembly, per-job adjustment — and replaces the Grafana renderer
+// with a small built-in web viewer (viewer.go) that draws the same panels
+// as unicode sparkline graphs.
+package dashboard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"text/template"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/tsdb"
+)
+
+// Dashboard is the generated document, a compatible subset of Grafana's
+// dashboard JSON model.
+type Dashboard struct {
+	Title       string       `json:"title"`
+	UID         string       `json:"uid"`
+	Tags        []string     `json:"tags,omitempty"`
+	Time        TimeRange    `json:"time"`
+	Annotations []Annotation `json:"annotations,omitempty"`
+	Rows        []Row        `json:"rows"`
+}
+
+// TimeRange is the dashboard's visible window.
+type TimeRange struct {
+	From time.Time `json:"from"`
+	To   time.Time `json:"to"`
+}
+
+// Annotation marks an event overlay (job start/end, user events).
+type Annotation struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+// Row groups panels.
+type Row struct {
+	Title  string  `json:"title"`
+	Panels []Panel `json:"panels"`
+}
+
+// Panel is one visualization.
+type Panel struct {
+	ID      int      `json:"id"`
+	Title   string   `json:"title"`
+	Type    string   `json:"type"` // "graph", "table", "text"
+	Span    int      `json:"span"`
+	Unit    string   `json:"unit,omitempty"`
+	Targets []Target `json:"targets,omitempty"`
+	Content string   `json:"content,omitempty"` // for text panels
+}
+
+// Target is one data query of a panel.
+type Target struct {
+	Query  string `json:"query"`
+	Legend string `json:"legend,omitempty"`
+}
+
+// PanelTemplate is a JSON panel description with text/template
+// placeholders. Context fields available during execution:
+//
+//	{{.JobID}} {{.User}} {{.Measurement}} {{.Field}} {{.StartNS}} {{.EndNS}}
+type PanelTemplate struct {
+	// Measurement selects this template when the measurement is present
+	// for the job's hosts; "*" is the generic fallback.
+	Measurement string
+	// JSON is the panel body with placeholders.
+	JSON string
+}
+
+// templateContext is the data available to panel templates.
+type templateContext struct {
+	JobID       string
+	User        string
+	Measurement string
+	Field       string
+	StartNS     int64
+	EndNS       int64
+}
+
+// Agent generates dashboards from templates and database content.
+type Agent struct {
+	DB *tsdb.DB
+	// Templates are tried in order; the first whose Measurement matches is
+	// used for that measurement. Defaults to BuiltinTemplates().
+	Templates []PanelTemplate
+	// Evaluator produces the analysis header; nil skips the header.
+	Evaluator *analysis.Evaluator
+	// HiddenMeasurements are never turned into panels (internal series).
+	HiddenMeasurements []string
+}
+
+func (a *Agent) templates() []PanelTemplate {
+	if a.Templates != nil {
+		return a.Templates
+	}
+	return BuiltinTemplates()
+}
+
+func (a *Agent) hidden(meas string) bool {
+	for _, h := range a.HiddenMeasurements {
+		if h == meas {
+			return true
+		}
+	}
+	return meas == "events"
+}
+
+// measurementsForJob discovers which measurements carry data for the job's
+// hosts: the template-selection input ("Based on the hostnames
+// participating in the job, the agent selects the templates").
+func (a *Agent) measurementsForJob(job analysis.JobMeta) []string {
+	hostSet := map[string]bool{}
+	for _, h := range job.Nodes {
+		hostSet[h] = true
+	}
+	var out []string
+	for _, meas := range a.DB.Measurements() {
+		if a.hidden(meas) {
+			continue
+		}
+		for _, host := range a.DB.TagValues(meas, "hostname") {
+			if hostSet[host] {
+				out = append(out, meas)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Agent) findTemplate(meas string) (PanelTemplate, bool) {
+	var fallback PanelTemplate
+	haveFallback := false
+	for _, t := range a.templates() {
+		if t.Measurement == meas {
+			return t, true
+		}
+		if t.Measurement == "*" && !haveFallback {
+			fallback = t
+			haveFallback = true
+		}
+	}
+	return fallback, haveFallback
+}
+
+// renderPanel executes one panel template.
+func renderPanel(tpl PanelTemplate, ctx templateContext, id int) (Panel, error) {
+	t, err := template.New(tpl.Measurement).Parse(tpl.JSON)
+	if err != nil {
+		return Panel{}, fmt.Errorf("dashboard: template %q: %w", tpl.Measurement, err)
+	}
+	var buf bytes.Buffer
+	if err := t.Execute(&buf, ctx); err != nil {
+		return Panel{}, fmt.Errorf("dashboard: execute %q: %w", tpl.Measurement, err)
+	}
+	var p Panel
+	if err := json.Unmarshal(buf.Bytes(), &p); err != nil {
+		return Panel{}, fmt.Errorf("dashboard: template %q produced invalid JSON: %w", tpl.Measurement, err)
+	}
+	p.ID = id
+	if p.Span == 0 {
+		p.Span = 6
+	}
+	return p, nil
+}
+
+// GenerateJobDashboard builds the per-job dashboard: analysis header,
+// one row per measurement with per-field graph panels, and the job's
+// event annotations.
+func (a *Agent) GenerateJobDashboard(job analysis.JobMeta) (*Dashboard, error) {
+	if a.DB == nil {
+		return nil, fmt.Errorf("dashboard: agent has no database")
+	}
+	end := job.End
+	if end.IsZero() {
+		end = time.Now()
+	}
+	d := &Dashboard{
+		Title: fmt.Sprintf("Job %s", job.ID),
+		UID:   "job-" + job.ID,
+		Tags:  []string{"lms", "job"},
+		Time:  TimeRange{From: job.Start, To: end},
+		Annotations: []Annotation{{
+			Name:  "job events",
+			Query: fmt.Sprintf("SELECT text FROM events WHERE jobid = '%s'", job.ID),
+		}},
+	}
+
+	// Header row: online job evaluation (Fig. 2).
+	if a.Evaluator != nil {
+		rep, err := a.Evaluator.Evaluate(job)
+		if err != nil {
+			return nil, err
+		}
+		d.Rows = append(d.Rows, Row{
+			Title: "Job evaluation",
+			Panels: []Panel{{
+				ID:      1,
+				Title:   "Online job evaluation",
+				Type:    "text",
+				Span:    12,
+				Content: rep.FormatTable(),
+			}},
+		})
+	}
+
+	id := 100
+	ctxBase := templateContext{
+		JobID:   job.ID,
+		User:    job.User,
+		StartNS: job.Start.UnixNano(),
+		EndNS:   end.UnixNano(),
+	}
+	for _, meas := range a.measurementsForJob(job) {
+		tpl, ok := a.findTemplate(meas)
+		if !ok {
+			continue
+		}
+		row := Row{Title: meas}
+		for _, field := range a.DB.FieldKeys(meas) {
+			ctx := ctxBase
+			ctx.Measurement = meas
+			ctx.Field = field
+			p, err := renderPanel(tpl, ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			id++
+			row.Panels = append(row.Panels, p)
+		}
+		if len(row.Panels) > 0 {
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	return d, nil
+}
+
+// GenerateAdminDashboard builds the administrator main view: "all currently
+// running jobs with small thumbnails of the job's graphs and further
+// information".
+func (a *Agent) GenerateAdminDashboard(jobs []analysis.JobMeta) (*Dashboard, error) {
+	d := &Dashboard{
+		Title: "Running jobs",
+		UID:   "admin-running",
+		Tags:  []string{"lms", "admin"},
+	}
+	row := Row{Title: "Jobs"}
+	id := 1
+	for _, job := range jobs {
+		end := job.End
+		var endNS int64
+		if end.IsZero() {
+			endNS = time.Now().UnixNano()
+		} else {
+			endNS = end.UnixNano()
+		}
+		row.Panels = append(row.Panels, Panel{
+			ID:    id,
+			Title: fmt.Sprintf("Job %s (%s, %d nodes)", job.ID, job.User, len(job.Nodes)),
+			Type:  "graph",
+			Span:  3, // thumbnail size
+			Targets: []Target{{
+				Query: fmt.Sprintf(
+					"SELECT mean(dp_mflop_s) FROM likwid_mem_dp WHERE jobid = '%s' AND time >= %d AND time <= %d GROUP BY time(60s)",
+					job.ID, job.Start.UnixNano(), endNS),
+				Legend: "DP MFLOP/s",
+			}},
+		})
+		id++
+	}
+	d.Rows = append(d.Rows, row)
+	return d, nil
+}
+
+// MarshalIndent renders the dashboard as Grafana-style JSON.
+func (d *Dashboard) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Validate checks structural invariants of a generated dashboard: unique
+// panel ids, non-empty queries on graph panels, sane time range.
+func (d *Dashboard) Validate() error {
+	if d.Title == "" {
+		return fmt.Errorf("dashboard: empty title")
+	}
+	if !d.Time.From.IsZero() && !d.Time.To.IsZero() && d.Time.To.Before(d.Time.From) {
+		return fmt.Errorf("dashboard: inverted time range")
+	}
+	seen := map[int]bool{}
+	for _, row := range d.Rows {
+		for _, p := range row.Panels {
+			if seen[p.ID] {
+				return fmt.Errorf("dashboard: duplicate panel id %d", p.ID)
+			}
+			seen[p.ID] = true
+			if (p.Type == "graph" || p.Type == "histogram") && len(p.Targets) == 0 {
+				return fmt.Errorf("dashboard: %s panel %d has no targets", p.Type, p.ID)
+			}
+			for _, tgt := range p.Targets {
+				if strings.TrimSpace(tgt.Query) == "" {
+					return fmt.Errorf("dashboard: panel %d has empty query", p.ID)
+				}
+				if _, err := tsdb.ParseQuery(tgt.Query); err != nil {
+					return fmt.Errorf("dashboard: panel %d query: %w", p.ID, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package dashboard
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper lists histograms among the templated visualization options of
+// the web front-end ("a variety of visualization options like graphs,
+// histograms, pie charts and more"). This file adds the histogram panel
+// type: the panel's query result values are bucketed into equal-width bins
+// and rendered as horizontal bars.
+
+// HistBin is one histogram bucket [Lo, Hi).
+type HistBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram buckets values into bins equal-width bins spanning [min, max].
+// NaNs are skipped. The last bin is closed ([Lo, Hi]) so the maximum lands
+// inside. Returns nil for empty input or bins < 1.
+func Histogram(values []float64, bins int) []HistBin {
+	if bins < 1 {
+		return nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		n++
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	if lo == hi {
+		return []HistBin{{Lo: lo, Hi: hi, Count: n}}
+	}
+	width := (hi - lo) / float64(bins)
+	out := make([]HistBin, bins)
+	for i := range out {
+		out[i].Lo = lo + float64(i)*width
+		out[i].Hi = out[i].Lo + width
+	}
+	out[bins-1].Hi = hi
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		idx := int((v - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out
+}
+
+// RenderHistogram draws the buckets as horizontal bars of width <= barMax.
+func RenderHistogram(bins []HistBin, barMax int) string {
+	if len(bins) == 0 {
+		return "(no data)\n"
+	}
+	if barMax <= 0 {
+		barMax = 40
+	}
+	maxCount := 0
+	for _, b := range bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		barLen := 0
+		if maxCount > 0 {
+			barLen = b.Count * barMax / maxCount
+		}
+		if b.Count > 0 && barLen == 0 {
+			barLen = 1
+		}
+		fmt.Fprintf(&sb, "[%12.4g, %12.4g) %-*s %d\n",
+			b.Lo, b.Hi, barMax, strings.Repeat("█", barLen), b.Count)
+	}
+	return sb.String()
+}

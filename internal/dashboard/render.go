@@ -1,0 +1,210 @@
+package dashboard
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// This file renders panels as text: the replacement for Grafana's graph
+// drawing. Graph panels become unicode sparklines with min/max/last
+// summaries; table and text panels pass through.
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-height unicode strip. NaNs render as
+// spaces. An empty series yields an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// SeriesSummary condenses one query result series for rendering.
+type SeriesSummary struct {
+	Legend string
+	Values []float64
+	Min    float64
+	Max    float64
+	Last   float64
+}
+
+// summarize extracts the first value column of a result series.
+func summarize(rs tsdb.ResultSeries) SeriesSummary {
+	s := SeriesSummary{Min: math.Inf(1), Max: math.Inf(-1), Last: math.NaN()}
+	if len(rs.Tags) > 0 {
+		var parts []string
+		for k, v := range rs.Tags {
+			parts = append(parts, k+"="+v)
+		}
+		if len(parts) == 1 {
+			s.Legend = parts[0]
+		} else {
+			// Deterministic ordering for multi-tag legends.
+			for i := 0; i < len(parts); i++ {
+				for j := i + 1; j < len(parts); j++ {
+					if parts[j] < parts[i] {
+						parts[i], parts[j] = parts[j], parts[i]
+					}
+				}
+			}
+			s.Legend = strings.Join(parts, ",")
+		}
+	}
+	for _, row := range rs.Values {
+		if len(row) < 2 || row[1] == nil {
+			s.Values = append(s.Values, math.NaN())
+			continue
+		}
+		v, ok := row[1].(float64)
+		if !ok {
+			if iv, ok2 := row[1].(int64); ok2 {
+				v, ok = float64(iv), true
+			}
+		}
+		if !ok {
+			s.Values = append(s.Values, math.NaN())
+			continue
+		}
+		s.Values = append(s.Values, v)
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Last = v
+	}
+	if math.IsInf(s.Min, 1) {
+		s.Min, s.Max = math.NaN(), math.NaN()
+	}
+	return s
+}
+
+// RenderPanel executes a panel's queries against the store and renders the
+// result as text. Graph panels become one sparkline per result series.
+func RenderPanel(store *tsdb.Store, dbName string, p Panel) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", p.Title)
+	switch p.Type {
+	case "text":
+		b.WriteString(p.Content)
+		if !strings.HasSuffix(p.Content, "\n") {
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	case "graph", "table", "histogram":
+		for _, tgt := range p.Targets {
+			stmts, err := tsdb.ParseQuery(tgt.Query)
+			if err != nil {
+				return "", fmt.Errorf("dashboard: panel %d: %w", p.ID, err)
+			}
+			for _, st := range stmts {
+				res, err := tsdb.Execute(store, dbName, st)
+				if err != nil {
+					return "", fmt.Errorf("dashboard: panel %d: %w", p.ID, err)
+				}
+				if len(res.Series) == 0 {
+					b.WriteString("(no data)\n")
+					continue
+				}
+				for _, rs := range res.Series {
+					s := summarize(rs)
+					legend := s.Legend
+					if legend == "" {
+						legend = rs.Name
+					}
+					if p.Type == "histogram" {
+						fmt.Fprintf(&b, "%s (n=%d)\n%s", legend, len(s.Values),
+							RenderHistogram(Histogram(s.Values, 10), 40))
+						continue
+					}
+					fmt.Fprintf(&b, "%-28s %s  min %.4g  max %.4g  last %.4g\n",
+						legend, Sparkline(s.Values), s.Min, s.Max, s.Last)
+				}
+			}
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("dashboard: panel %d has unknown type %q", p.ID, p.Type)
+	}
+}
+
+// RenderDashboard renders all rows and panels plus the annotation events.
+func RenderDashboard(store *tsdb.Store, dbName string, d *Dashboard) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s ###\n", d.Title)
+	if !d.Time.From.IsZero() {
+		fmt.Fprintf(&b, "time range: %s .. %s\n",
+			d.Time.From.Format(time.RFC3339), d.Time.To.Format(time.RFC3339))
+	}
+	for _, ann := range d.Annotations {
+		stmts, err := tsdb.ParseQuery(ann.Query)
+		if err != nil {
+			continue
+		}
+		for _, st := range stmts {
+			res, err := tsdb.Execute(store, dbName, st)
+			if err != nil {
+				continue
+			}
+			for _, rs := range res.Series {
+				for _, row := range rs.Values {
+					if len(row) >= 2 {
+						if text, ok := row[1].(string); ok {
+							fmt.Fprintf(&b, "event @ %v: %s\n", row[0], text)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, row := range d.Rows {
+		fmt.Fprintf(&b, "\n-- %s --\n", row.Title)
+		for _, p := range row.Panels {
+			s, err := RenderPanel(store, dbName, p)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,164 @@
+package dashboard
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/router"
+	"repro/internal/tsdb"
+)
+
+// JobSource provides the job information the viewer shows; implemented by
+// *router.JobRegistry.
+type JobSource interface {
+	Running() []*router.Job
+	Get(id string) (*router.Job, bool)
+	History() []*router.Job
+}
+
+// Viewer is the web front-end: the Grafana replacement. It serves
+//
+//	GET /                   admin view: running jobs with thumbnails
+//	GET /job/<id>           user view: evaluation header + panels
+//	GET /api/dashboard/<id> generated dashboard JSON (Grafana model)
+//
+// The views are generated per request from templates and live data, which
+// reproduces the "automatically updated" property of the paper's front-end.
+type Viewer struct {
+	Store  *tsdb.Store
+	DBName string
+	Jobs   JobSource
+	Agent  *Agent
+	// Now overrides the clock (tests).
+	Now func() time.Time
+
+	mux *http.ServeMux
+}
+
+// NewViewer wires the handler.
+func NewViewer(store *tsdb.Store, dbName string, jobs JobSource, agent *Agent) *Viewer {
+	v := &Viewer{Store: store, DBName: dbName, Jobs: jobs, Agent: agent}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", v.handleAdmin)
+	mux.HandleFunc("/job/", v.handleJob)
+	mux.HandleFunc("/api/dashboard/", v.handleDashboardJSON)
+	v.mux = mux
+	return v
+}
+
+// ServeHTTP implements http.Handler.
+func (v *Viewer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	v.mux.ServeHTTP(w, r)
+}
+
+func (v *Viewer) now() time.Time {
+	if v.Now != nil {
+		return v.Now()
+	}
+	return time.Now()
+}
+
+func jobMeta(j *router.Job) analysis.JobMeta {
+	return analysis.JobMeta{
+		ID:    j.ID,
+		User:  j.User,
+		Nodes: append([]string(nil), j.Nodes...),
+		Start: j.Start,
+		End:   j.End,
+	}
+}
+
+// handleAdmin renders the administrator main view: all currently running
+// jobs with a thumbnail sparkline and key numbers.
+func (v *Viewer) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	jobs := v.Jobs.Running()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	var b strings.Builder
+	b.WriteString("<html><head><title>LMS - running jobs</title></head><body><h1>Running jobs</h1><pre>\n")
+	if len(jobs) == 0 {
+		b.WriteString("no running jobs\n")
+	}
+	for _, j := range jobs {
+		end := v.now()
+		q := fmt.Sprintf(
+			"SELECT mean(dp_mflop_s) FROM likwid_mem_dp WHERE jobid = '%s' AND time >= %d AND time <= %d GROUP BY time(60s)",
+			j.ID, j.Start.UnixNano(), end.UnixNano())
+		thumb := "(no data)"
+		if stmts, err := tsdb.ParseQuery(q); err == nil {
+			if res, err := tsdb.Execute(v.Store, v.DBName, stmts[0]); err == nil && len(res.Series) > 0 {
+				s := summarize(res.Series[0])
+				thumb = fmt.Sprintf("%s last %.4g MFLOP/s", Sparkline(s.Values), s.Last)
+			}
+		}
+		fmt.Fprintf(&b, "<a href=\"/job/%s\">job %-12s</a> user %-8s nodes %-3d started %s  %s\n",
+			html.EscapeString(j.ID), html.EscapeString(j.ID), html.EscapeString(j.User),
+			len(j.Nodes), j.Start.Format("15:04:05"), thumb)
+	}
+	b.WriteString("</pre></body></html>\n")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleJob renders the user view of one job: the evaluation header (Fig. 2)
+// followed by the rendered panels (Fig. 3 / Fig. 4 style timelines).
+func (v *Viewer) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/job/")
+	job, ok := v.Jobs.Get(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	meta := jobMeta(job)
+	if meta.End.IsZero() {
+		meta.End = v.now()
+	}
+	d, err := v.Agent.GenerateJobDashboard(meta)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	text, err := RenderDashboard(v.Store, v.DBName, d)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>LMS - job %s</title></head><body><pre>\n%s</pre></body></html>\n",
+		html.EscapeString(id), html.EscapeString(text))
+}
+
+// handleDashboardJSON exposes the generated Grafana-model JSON, which is
+// what the original agent would POST to Grafana's dashboard API.
+func (v *Viewer) handleDashboardJSON(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/dashboard/")
+	job, ok := v.Jobs.Get(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	meta := jobMeta(job)
+	if meta.End.IsZero() {
+		meta.End = v.now()
+	}
+	d, err := v.Agent.GenerateJobDashboard(meta)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out, err := d.MarshalIndent()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(out)
+}

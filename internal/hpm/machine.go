@@ -1,0 +1,186 @@
+package hpm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CounterMask is the width of the simulated hardware counters. Real x86
+// general-purpose PMCs are 48 bits wide and wrap silently; the measurement
+// session must handle the overflow, so the simulation reproduces it.
+const CounterMask = (uint64(1) << 48) - 1
+
+// EventRates gives event increments per simulated second for one hardware
+// thread. Events not present count zero. Socket-scope events (CAS_COUNT_*,
+// PWR_PKG_ENERGY) are given per thread and accumulated into the owning
+// socket's register, the way per-core memory traffic aggregates at the
+// memory controller.
+type EventRates map[string]float64
+
+// Machine is the simulated node hardware: a topology plus one register file
+// per hardware thread and per socket, advanced in simulated time by
+// workload-defined rates. It is safe for concurrent use.
+type Machine struct {
+	topo Topology
+
+	mu      sync.Mutex
+	now     float64 // simulated seconds since boot
+	rates   []EventRates
+	threads []map[string]uint64 // per hwthread: event -> cumulative count
+	sockets []map[string]uint64 // per socket: event -> cumulative count
+	frac    []map[string]float64
+	sfrac   []map[string]float64
+}
+
+// NewMachine boots a simulated machine with all counters at zero and no
+// load on any thread.
+func NewMachine(topo Topology) (*Machine, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	n := topo.NumHWThreads()
+	m := &Machine{
+		topo:    topo,
+		rates:   make([]EventRates, n),
+		threads: make([]map[string]uint64, n),
+		frac:    make([]map[string]float64, n),
+		sockets: make([]map[string]uint64, topo.Sockets),
+		sfrac:   make([]map[string]float64, topo.Sockets),
+	}
+	for i := 0; i < n; i++ {
+		m.threads[i] = make(map[string]uint64)
+		m.frac[i] = make(map[string]float64)
+	}
+	for s := 0; s < topo.Sockets; s++ {
+		m.sockets[s] = make(map[string]uint64)
+		m.sfrac[s] = make(map[string]float64)
+	}
+	return m, nil
+}
+
+// Topology returns the machine layout.
+func (m *Machine) Topology() Topology { return m.topo }
+
+// Now returns the simulated time in seconds since boot.
+func (m *Machine) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// SetRates installs the current event rates for one hardware thread,
+// replacing any previous rates. Unknown events are rejected so workload
+// bugs surface immediately.
+func (m *Machine) SetRates(thread int, rates EventRates) error {
+	if thread < 0 || thread >= len(m.threads) {
+		return fmt.Errorf("hpm: hwthread %d out of range [0,%d)", thread, len(m.threads))
+	}
+	cp := make(EventRates, len(rates))
+	for ev, r := range rates {
+		if _, err := LookupEvent(ev); err != nil {
+			return err
+		}
+		if r < 0 {
+			return fmt.Errorf("hpm: negative rate %v for event %s", r, ev)
+		}
+		cp[ev] = r
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rates[thread] = cp
+	return nil
+}
+
+// Idle clears the rates of a thread (halted core: no events count).
+func (m *Machine) Idle(thread int) error {
+	return m.SetRates(thread, nil)
+}
+
+// Advance moves simulated time forward by dt seconds, accumulating
+// rate*dt into every counter. Fractional event counts are carried between
+// calls so long runs do not lose events to truncation. Registers wrap at
+// 48 bits.
+func (m *Machine) Advance(dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("hpm: negative time step %v", dt)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now += dt
+	for tid, rates := range m.rates {
+		if len(rates) == 0 {
+			continue
+		}
+		sock := tid / (m.topo.CoresPerSocket * m.topo.ThreadsPerCore)
+		for ev, rate := range rates {
+			inc := rate*dt + m.fracFor(tid, sock, ev)
+			whole := uint64(inc)
+			rem := inc - float64(whole)
+			e := eventCatalog[ev]
+			if e.Scope == ScopeSocket {
+				m.sockets[sock][ev] = (m.sockets[sock][ev] + whole) & CounterMask
+				m.sfrac[sock][ev] = rem
+			} else {
+				m.threads[tid][ev] = (m.threads[tid][ev] + whole) & CounterMask
+				m.frac[tid][ev] = rem
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Machine) fracFor(tid, sock int, ev string) float64 {
+	if eventCatalog[ev].Scope == ScopeSocket {
+		return m.sfrac[sock][ev]
+	}
+	return m.frac[tid][ev]
+}
+
+// ReadThreadCounter returns the current 48-bit register value of a
+// thread-scope event on one hardware thread.
+func (m *Machine) ReadThreadCounter(thread int, event string) (uint64, error) {
+	ev, err := LookupEvent(event)
+	if err != nil {
+		return 0, err
+	}
+	if ev.Scope != ScopeThread {
+		return 0, fmt.Errorf("hpm: event %s is socket-scope", event)
+	}
+	if thread < 0 || thread >= len(m.threads) {
+		return 0, fmt.Errorf("hpm: hwthread %d out of range", thread)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.threads[thread][event], nil
+}
+
+// ReadSocketCounter returns the current 48-bit register value of a
+// socket-scope event.
+func (m *Machine) ReadSocketCounter(socket int, event string) (uint64, error) {
+	ev, err := LookupEvent(event)
+	if err != nil {
+		return 0, err
+	}
+	if ev.Scope != ScopeSocket {
+		return 0, fmt.Errorf("hpm: event %s is thread-scope", event)
+	}
+	if socket < 0 || socket >= len(m.sockets) {
+		return 0, fmt.Errorf("hpm: socket %d out of range", socket)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sockets[socket][event], nil
+}
+
+// poke is a test hook that force-sets a register close to the wrap point.
+func (m *Machine) poke(thread int, event string, value uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := eventCatalog[event]
+	if e.Scope == ScopeSocket {
+		sock := thread / (m.topo.CoresPerSocket * m.topo.ThreadsPerCore)
+		m.sockets[sock][event] = value & CounterMask
+	} else {
+		m.threads[thread][event] = value & CounterMask
+	}
+}

@@ -1,0 +1,169 @@
+// Package hpm is the hardware-performance-monitoring substrate of the LMS
+// reproduction: a from-scratch, simulation-backed re-implementation of the
+// parts of the LIKWID tools library the monitoring stack builds on
+// (paper Sect. II and V).
+//
+// LIKWID abstracts processor-specific raw events behind *performance
+// groups*: named event sets plus formulas for derived metrics (IPC, DP
+// MFLOP/s, memory bandwidth, power, ...). LMS consumes only those derived
+// metrics, which is what makes it portable across architectures. This
+// package reproduces the full pipeline:
+//
+//	topology -> event catalog -> group files -> counter registers ->
+//	measurement session -> derived metrics
+//
+// with the silicon replaced by a simulated Machine whose counters are driven
+// by synthetic workload rate functions (see package workload). Counter
+// registers wrap at 48 bits like real x86 PMCs, and the session logic
+// handles the overflow, so the software path is exercised end to end.
+package hpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology describes the simulated machine layout, the equivalent of
+// likwid-topology output.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int
+	// BaseClockMHz is the nominal (reference) clock.
+	BaseClockMHz float64
+}
+
+// DefaultTopology mirrors the dual-socket 10-core Haswell nodes of the
+// RRZE "Emmy" cluster the authors operate.
+func DefaultTopology() Topology {
+	return Topology{Sockets: 2, CoresPerSocket: 10, ThreadsPerCore: 1, BaseClockMHz: 2200}
+}
+
+// Validate checks the topology for positive dimensions.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 || t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("hpm: invalid topology %+v", t)
+	}
+	if t.BaseClockMHz <= 0 {
+		return fmt.Errorf("hpm: invalid base clock %v", t.BaseClockMHz)
+	}
+	return nil
+}
+
+// NumHWThreads returns the total hardware thread count.
+func (t Topology) NumHWThreads() int {
+	return t.Sockets * t.CoresPerSocket * t.ThreadsPerCore
+}
+
+// HWThread identifies one hardware thread and its position.
+type HWThread struct {
+	ID     int // APIC-style global id, 0..NumHWThreads-1
+	Core   int // global core id
+	Socket int
+}
+
+// HWThreads enumerates all hardware threads. Threads are numbered
+// socket-major, core-minor, SMT-last, matching likwid-topology's physical
+// ordering.
+func (t Topology) HWThreads() []HWThread {
+	threads := make([]HWThread, 0, t.NumHWThreads())
+	id := 0
+	for s := 0; s < t.Sockets; s++ {
+		for c := 0; c < t.CoresPerSocket; c++ {
+			for smt := 0; smt < t.ThreadsPerCore; smt++ {
+				threads = append(threads, HWThread{
+					ID:     id,
+					Core:   s*t.CoresPerSocket + c,
+					Socket: s,
+				})
+				id++
+			}
+		}
+	}
+	return threads
+}
+
+// SocketOf returns the socket that owns hardware thread id.
+func (t Topology) SocketOf(id int) (int, error) {
+	if id < 0 || id >= t.NumHWThreads() {
+		return 0, fmt.Errorf("hpm: hwthread %d out of range [0,%d)", id, t.NumHWThreads())
+	}
+	return id / (t.CoresPerSocket * t.ThreadsPerCore), nil
+}
+
+// ParseCPUList parses a likwid-style CPU list expression: comma-separated
+// entries that are either single ids ("3") or inclusive ranges ("0-4").
+// The result is sorted and de-duplicated.
+func ParseCPUList(expr string, max int) ([]int, error) {
+	if expr == "" {
+		return nil, fmt.Errorf("hpm: empty cpu list")
+	}
+	seen := map[int]struct{}{}
+	start := 0
+	parse := func(s string) (int, error) {
+		n := 0
+		if s == "" {
+			return 0, fmt.Errorf("hpm: empty cpu id in %q", expr)
+		}
+		for i := 0; i < len(s); i++ {
+			if s[i] < '0' || s[i] > '9' {
+				return 0, fmt.Errorf("hpm: bad cpu id %q", s)
+			}
+			n = n*10 + int(s[i]-'0')
+		}
+		return n, nil
+	}
+	add := func(id int) error {
+		if id < 0 || id >= max {
+			return fmt.Errorf("hpm: cpu id %d out of range [0,%d)", id, max)
+		}
+		seen[id] = struct{}{}
+		return nil
+	}
+	for i := 0; i <= len(expr); i++ {
+		if i < len(expr) && expr[i] != ',' {
+			continue
+		}
+		entry := expr[start:i]
+		start = i + 1
+		dash := -1
+		for j := range entry {
+			if entry[j] == '-' {
+				dash = j
+				break
+			}
+		}
+		if dash < 0 {
+			id, err := parse(entry)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(id); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		lo, err := parse(entry[:dash])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := parse(entry[dash+1:])
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("hpm: inverted range %q", entry)
+		}
+		for id := lo; id <= hi; id++ {
+			if err := add(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}

@@ -1,0 +1,204 @@
+package proc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file contains the parsers for the /proc snapshot formats. They are
+// used by the collector plugins (and work equally on a real Linux /proc,
+// which is why they tolerate more fields than the generator emits).
+
+// LoadAvgValues holds the parsed /proc/loadavg.
+type LoadAvgValues struct {
+	Load1, Load5, Load15 float64
+	Runnable, Total      int
+}
+
+// ParseLoadAvg parses /proc/loadavg content.
+func ParseLoadAvg(text string) (LoadAvgValues, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 4 {
+		return LoadAvgValues{}, fmt.Errorf("proc: short loadavg %q", text)
+	}
+	var v LoadAvgValues
+	var err error
+	if v.Load1, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return v, fmt.Errorf("proc: loadavg: %w", err)
+	}
+	if v.Load5, err = strconv.ParseFloat(fields[1], 64); err != nil {
+		return v, fmt.Errorf("proc: loadavg: %w", err)
+	}
+	if v.Load15, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return v, fmt.Errorf("proc: loadavg: %w", err)
+	}
+	slash := strings.SplitN(fields[3], "/", 2)
+	if len(slash) != 2 {
+		return v, fmt.Errorf("proc: loadavg procs field %q", fields[3])
+	}
+	if v.Runnable, err = strconv.Atoi(slash[0]); err != nil {
+		return v, fmt.Errorf("proc: loadavg: %w", err)
+	}
+	if v.Total, err = strconv.Atoi(slash[1]); err != nil {
+		return v, fmt.Errorf("proc: loadavg: %w", err)
+	}
+	return v, nil
+}
+
+// StatValues holds the parsed /proc/stat CPU lines: the aggregate and the
+// per-CPU breakdowns.
+type StatValues struct {
+	Aggregate CPUTimes
+	CPUs      []CPUTimes
+}
+
+// ParseStat parses /proc/stat content.
+func ParseStat(text string) (StatValues, error) {
+	var out StatValues
+	seenAgg := false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "cpu") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 8 {
+			return out, fmt.Errorf("proc: short stat line %q", line)
+		}
+		var c CPUTimes
+		vals := make([]uint64, 7)
+		for i := 0; i < 7; i++ {
+			v, err := strconv.ParseUint(fields[i+1], 10, 64)
+			if err != nil {
+				return out, fmt.Errorf("proc: stat line %q: %w", line, err)
+			}
+			vals[i] = v
+		}
+		c.User, c.Nice, c.System, c.Idle, c.IOWait, c.IRQ, c.SoftIRQ =
+			vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6]
+		if fields[0] == "cpu" {
+			out.Aggregate = c
+			seenAgg = true
+		} else {
+			out.CPUs = append(out.CPUs, c)
+		}
+	}
+	if !seenAgg {
+		return out, fmt.Errorf("proc: no aggregate cpu line")
+	}
+	return out, nil
+}
+
+// MeminfoValues holds the parsed /proc/meminfo in KB.
+type MeminfoValues struct {
+	TotalKB, FreeKB, AvailableKB, BuffersKB, CachedKB uint64
+}
+
+// UsedKB derives the allocated memory size (the Sect. V metric).
+func (m MeminfoValues) UsedKB() uint64 {
+	used := m.TotalKB - m.FreeKB - m.BuffersKB - m.CachedKB
+	if used > m.TotalKB {
+		return 0
+	}
+	return used
+}
+
+// ParseMeminfo parses /proc/meminfo content.
+func ParseMeminfo(text string) (MeminfoValues, error) {
+	var out MeminfoValues
+	seen := 0
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "MemTotal:":
+			out.TotalKB = v
+			seen++
+		case "MemFree:":
+			out.FreeKB = v
+			seen++
+		case "MemAvailable:":
+			out.AvailableKB = v
+		case "Buffers:":
+			out.BuffersKB = v
+		case "Cached:":
+			out.CachedKB = v
+		}
+	}
+	if seen < 2 {
+		return out, fmt.Errorf("proc: meminfo missing MemTotal/MemFree")
+	}
+	return out, nil
+}
+
+// ParseNetDev parses /proc/net/dev into per-interface counters.
+func ParseNetDev(text string) (map[string]NetCounters, error) {
+	out := map[string]NetCounters{}
+	for _, line := range strings.Split(text, "\n") {
+		idx := strings.IndexByte(line, ':')
+		if idx < 0 {
+			continue // header lines
+		}
+		iface := strings.TrimSpace(line[:idx])
+		fields := strings.Fields(line[idx+1:])
+		if len(fields) < 16 {
+			return nil, fmt.Errorf("proc: short net/dev line %q", line)
+		}
+		var c NetCounters
+		var err error
+		if c.RxBytes, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: net/dev %s: %w", iface, err)
+		}
+		if c.RxPackets, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: net/dev %s: %w", iface, err)
+		}
+		if c.TxBytes, err = strconv.ParseUint(fields[8], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: net/dev %s: %w", iface, err)
+		}
+		if c.TxPackets, err = strconv.ParseUint(fields[9], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: net/dev %s: %w", iface, err)
+		}
+		out[iface] = c
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("proc: empty net/dev")
+	}
+	return out, nil
+}
+
+// ParseDiskstats parses /proc/diskstats into per-device counters.
+func ParseDiskstats(text string) (map[string]DiskCounters, error) {
+	out := map[string]DiskCounters{}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 10 {
+			continue
+		}
+		dev := fields[2]
+		var c DiskCounters
+		var err error
+		if c.ReadIOs, err = strconv.ParseUint(fields[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: diskstats %s: %w", dev, err)
+		}
+		if c.ReadSectors, err = strconv.ParseUint(fields[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: diskstats %s: %w", dev, err)
+		}
+		if c.WriteIOs, err = strconv.ParseUint(fields[7], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: diskstats %s: %w", dev, err)
+		}
+		if c.WriteSectors, err = strconv.ParseUint(fields[9], 10, 64); err != nil {
+			return nil, fmt.Errorf("proc: diskstats %s: %w", dev, err)
+		}
+		out[dev] = c
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("proc: empty diskstats")
+	}
+	return out, nil
+}

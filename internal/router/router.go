@@ -1,0 +1,397 @@
+// Package router implements the LMS metrics router (paper Sect. III-B), the
+// central component of the monitoring stack.
+//
+// The router mimics the HTTP interface of an InfluxDB database (so any host
+// agent that can talk to InfluxDB can talk to the router) plus an endpoint
+// for job start and end signals. It maintains a *tag store* keyed by
+// hostname: when a job starts, the scheduler's signal carries tags (job id,
+// user name, ...) that are attached to every metric and event arriving from
+// the participating hosts for the duration of the job. All received metrics
+// are forwarded to the database back-end; if configured, the router
+// duplicates job metrics into a per-user database, and publishes metrics and
+// meta information over the ZeroMQ-style pub/sub fabric for stream
+// analyzers.
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lineproto"
+	"repro/internal/pubsub"
+	"repro/internal/tsdb"
+)
+
+// Sink receives forwarded points. Implemented by tsdb-backed local sinks and
+// by the InfluxDB HTTP client, so the router can front either an in-process
+// database or a remote one.
+type Sink interface {
+	WritePoints(pts []lineproto.Point) error
+}
+
+// LocalSink writes directly into an in-process tsdb database.
+type LocalSink struct{ DB *tsdb.DB }
+
+// WritePoints implements Sink.
+func (s LocalSink) WritePoints(pts []lineproto.Point) error {
+	return s.DB.WritePoints(pts)
+}
+
+// Config wires a Router.
+type Config struct {
+	// Primary is the main database sink (required).
+	Primary Sink
+	// UserSink returns the duplication sink for a user, or nil to skip
+	// duplication for that user. Optional.
+	UserSink func(user string) Sink
+	// Publisher, if set, receives every forwarded batch on topic
+	// "metrics/<measurement>" and every job signal on "meta/jobstart" /
+	// "meta/jobend".
+	Publisher *pubsub.Publisher
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+	// MaxHistory bounds the retained finished-job records (default 1000).
+	MaxHistory int
+}
+
+// Router is the LMS metrics router. Create with New, expose with ServeHTTP.
+type Router struct {
+	cfg  Config
+	mux  *http.ServeMux
+	tags *TagStore
+	jobs *JobRegistry
+
+	received  atomic.Int64
+	forwarded atomic.Int64
+	dropped   atomic.Int64
+}
+
+// New validates the configuration and builds a router.
+func New(cfg Config) (*Router, error) {
+	if cfg.Primary == nil {
+		return nil, fmt.Errorf("router: Primary sink is required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = 1000
+	}
+	r := &Router{
+		cfg:  cfg,
+		tags: NewTagStore(),
+		jobs: NewJobRegistry(cfg.MaxHistory),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/write", r.handleWrite)
+	mux.HandleFunc("/ping", r.handlePing)
+	mux.HandleFunc("/api/job/start", r.handleJobStart)
+	mux.HandleFunc("/api/job/end", r.handleJobEnd)
+	mux.HandleFunc("/api/jobs", r.handleJobs)
+	mux.HandleFunc("/api/job/", r.handleJobInfo)
+	r.mux = mux
+	return r, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+// Stats returns received, forwarded and dropped point counts.
+func (r *Router) Stats() (received, forwarded, dropped int64) {
+	return r.received.Load(), r.forwarded.Load(), r.dropped.Load()
+}
+
+// TagStore exposes the tag store (used by pulling proxies feeding the
+// router in-process).
+func (r *Router) TagStore() *TagStore { return r.tags }
+
+// Jobs exposes the job registry (used by the dashboard agent).
+func (r *Router) Jobs() *JobRegistry { return r.jobs }
+
+func (r *Router) handlePing(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("X-Influxdb-Version", "lms-router-1.0")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (r *Router) handleWrite(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	pts, err := lineproto.Parse(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := r.Ingest(pts); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Ingest runs the router pipeline on a batch of points: timestamping,
+// tag-store enrichment, forwarding, per-user duplication and publishing.
+// It is the in-process entry point used by pulling proxies and tests; the
+// HTTP /write handler delegates here.
+func (r *Router) Ingest(pts []lineproto.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	r.received.Add(int64(len(pts)))
+	now := r.cfg.Now()
+
+	// Enrich. Points without a hostname tag pass through untagged: the
+	// paper makes hostname the only mandatory tag, and the router's hash
+	// table is keyed by it.
+	enriched := make([]lineproto.Point, 0, len(pts))
+	perUser := map[string][]lineproto.Point{}
+	for _, p := range pts {
+		if p.Time.IsZero() {
+			p.Time = now
+		}
+		host := p.Tags["hostname"]
+		if host != "" {
+			if jobTags, ok := r.tags.Lookup(host); ok {
+				p = p.Clone()
+				for k, v := range jobTags {
+					if _, exists := p.Tags[k]; !exists {
+						p.Tags[k] = v
+					}
+				}
+				if user := jobTags["username"]; user != "" && r.cfg.UserSink != nil {
+					perUser[user] = append(perUser[user], p)
+				}
+			}
+		}
+		enriched = append(enriched, p)
+	}
+	if err := r.cfg.Primary.WritePoints(enriched); err != nil {
+		r.dropped.Add(int64(len(enriched)))
+		return fmt.Errorf("router: forward to primary: %w", err)
+	}
+	r.forwarded.Add(int64(len(enriched)))
+
+	// Per-user duplication is best-effort: a broken user database must not
+	// fail ingest into the primary store.
+	for user, upts := range perUser {
+		sink := r.cfg.UserSink(user)
+		if sink == nil {
+			continue
+		}
+		if err := sink.WritePoints(upts); err != nil {
+			r.dropped.Add(int64(len(upts)))
+		}
+	}
+
+	if r.cfg.Publisher != nil {
+		byMeasurement := map[string][]lineproto.Point{}
+		for _, p := range enriched {
+			byMeasurement[p.Measurement] = append(byMeasurement[p.Measurement], p)
+		}
+		for meas, mp := range byMeasurement {
+			if payload, err := lineproto.Encode(mp); err == nil {
+				r.cfg.Publisher.Publish("metrics/"+sanitizeTopic(meas), payload)
+			}
+		}
+	}
+	return nil
+}
+
+func sanitizeTopic(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// JobSignal is the JSON payload of the job start/end endpoints. The
+// scheduler (or its prolog/epilog scripts) posts it at (de)allocation
+// (paper Sect. III-A: "the compute nodes or a central management server
+// must send signals at (de)allocation of a job").
+type JobSignal struct {
+	JobID string            `json:"jobid"`
+	User  string            `json:"username,omitempty"`
+	Nodes []string          `json:"nodes,omitempty"`
+	Tags  map[string]string `json:"tags,omitempty"`
+}
+
+func decodeSignal(req *http.Request) (JobSignal, error) {
+	var sig JobSignal
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		return sig, err
+	}
+	if err := json.Unmarshal(body, &sig); err != nil {
+		return sig, err
+	}
+	if sig.JobID == "" {
+		return sig, fmt.Errorf("missing jobid")
+	}
+	return sig, nil
+}
+
+func (r *Router) handleJobStart(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sig, err := decodeSignal(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(sig.Nodes) == 0 {
+		httpError(w, http.StatusBadRequest, "job start needs nodes")
+		return
+	}
+	if err := r.JobStart(sig); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (r *Router) handleJobEnd(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sig, err := decodeSignal(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := r.JobEnd(sig.JobID); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// JobStart registers a job: its tags enter the tag store for every
+// participating node, the signal is forwarded into the database as an
+// annotation event, and meta information is published.
+func (r *Router) JobStart(sig JobSignal) error {
+	now := r.cfg.Now()
+	tags := map[string]string{"jobid": sig.JobID}
+	if sig.User != "" {
+		tags["username"] = sig.User
+	}
+	for k, v := range sig.Tags {
+		tags[k] = v
+	}
+	job := &Job{
+		ID:    sig.JobID,
+		User:  sig.User,
+		Nodes: append([]string(nil), sig.Nodes...),
+		Tags:  tags,
+		Start: now,
+	}
+	if err := r.jobs.Start(job); err != nil {
+		return err
+	}
+	for _, node := range sig.Nodes {
+		r.tags.Set(node, tags)
+	}
+	r.writeEvent("jobstart", job, now)
+	r.publishMeta("meta/jobstart", job)
+	return nil
+}
+
+// JobEnd deregisters a job: tags leave the tag store, the end annotation is
+// stored, meta information is published.
+func (r *Router) JobEnd(jobID string) error {
+	now := r.cfg.Now()
+	job, err := r.jobs.End(jobID, now)
+	if err != nil {
+		return err
+	}
+	for _, node := range job.Nodes {
+		r.tags.Remove(node, jobID)
+	}
+	r.writeEvent("jobend", job, now)
+	r.publishMeta("meta/jobend", job)
+	return nil
+}
+
+// writeEvent stores the signal as an annotation event in the primary
+// database ("received signals are forwarded into the database to be used
+// later as annotations in the graphs").
+func (r *Router) writeEvent(kind string, job *Job, now time.Time) {
+	nodes := strings.Join(job.Nodes, ",")
+	ev := lineproto.Point{
+		Measurement: "events",
+		Tags:        map[string]string{"jobid": job.ID, "type": kind},
+		Fields: map[string]lineproto.Value{
+			"text": lineproto.String(fmt.Sprintf("%s job %s user %s nodes %s", kind, job.ID, job.User, nodes)),
+		},
+		Time: now,
+	}
+	if job.User != "" {
+		ev.Tags["username"] = job.User
+	}
+	if err := r.cfg.Primary.WritePoints([]lineproto.Point{ev}); err == nil {
+		r.forwarded.Add(1)
+	} else {
+		r.dropped.Add(1)
+	}
+}
+
+func (r *Router) publishMeta(topic string, job *Job) {
+	if r.cfg.Publisher == nil {
+		return
+	}
+	payload, err := json.Marshal(job)
+	if err != nil {
+		return
+	}
+	r.cfg.Publisher.Publish(topic, payload)
+}
+
+func (r *Router) handleJobs(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	running := r.jobs.Running()
+	sort.Slice(running, func(i, j int) bool { return running[i].ID < running[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(running)
+}
+
+func (r *Router) handleJobInfo(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(req.URL.Path, "/api/job/")
+	job, ok := r.jobs.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %q not found", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(job)
+}

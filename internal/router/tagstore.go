@@ -1,0 +1,177 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// TagStore is the router's hash table keyed by hostname (paper Sect. III-A:
+// "the only mandatory tag for all metrics and events is the host name which
+// is used as key in the tag store's hash table"). Each host may carry tags
+// from at most one job at a time in the common batch-exclusive case; shared
+// nodes stack jobs and the most recent one wins, with earlier jobs restored
+// when it ends.
+type TagStore struct {
+	mu    sync.RWMutex
+	hosts map[string][]tagEntry
+}
+
+type tagEntry struct {
+	jobID string
+	tags  map[string]string
+}
+
+// NewTagStore returns an empty tag store.
+func NewTagStore() *TagStore {
+	return &TagStore{hosts: make(map[string][]tagEntry)}
+}
+
+// Set attaches a job's tags to a host. tags must contain "jobid".
+func (s *TagStore) Set(host string, tags map[string]string) {
+	cp := make(map[string]string, len(tags))
+	for k, v := range tags {
+		cp[k] = v
+	}
+	jobID := cp["jobid"]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Replace an existing entry of the same job (signal retransmission).
+	entries := s.hosts[host]
+	for i := range entries {
+		if entries[i].jobID == jobID {
+			entries[i].tags = cp
+			return
+		}
+	}
+	s.hosts[host] = append(entries, tagEntry{jobID: jobID, tags: cp})
+}
+
+// Lookup returns the tags currently attached to a host (the most recently
+// started job wins on shared nodes).
+func (s *TagStore) Lookup(host string) (map[string]string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.hosts[host]
+	if len(entries) == 0 {
+		return nil, false
+	}
+	return entries[len(entries)-1].tags, true
+}
+
+// Remove detaches one job's tags from a host.
+func (s *TagStore) Remove(host, jobID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.hosts[host]
+	for i := range entries {
+		if entries[i].jobID == jobID {
+			s.hosts[host] = append(entries[:i:i], entries[i+1:]...)
+			break
+		}
+	}
+	if len(s.hosts[host]) == 0 {
+		delete(s.hosts, host)
+	}
+}
+
+// Hosts returns the number of hosts with attached tags.
+func (s *TagStore) Hosts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.hosts)
+}
+
+// Job is one registered job with its monitoring tags.
+type Job struct {
+	ID    string            `json:"jobid"`
+	User  string            `json:"username,omitempty"`
+	Nodes []string          `json:"nodes"`
+	Tags  map[string]string `json:"tags,omitempty"`
+	Start time.Time         `json:"start"`
+	End   time.Time         `json:"end,omitempty"`
+}
+
+// Running reports whether the job has not ended yet.
+func (j *Job) Running() bool { return j.End.IsZero() }
+
+// JobRegistry tracks running jobs and a bounded history of finished ones.
+type JobRegistry struct {
+	mu         sync.RWMutex
+	running    map[string]*Job
+	history    []*Job
+	maxHistory int
+}
+
+// NewJobRegistry returns a registry keeping up to maxHistory finished jobs.
+func NewJobRegistry(maxHistory int) *JobRegistry {
+	return &JobRegistry{running: make(map[string]*Job), maxHistory: maxHistory}
+}
+
+// Start registers a running job. Duplicate ids are rejected.
+func (r *JobRegistry) Start(job *Job) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.running[job.ID]; ok {
+		return errDuplicateJob(job.ID)
+	}
+	r.running[job.ID] = job
+	return nil
+}
+
+type errDuplicateJob string
+
+func (e errDuplicateJob) Error() string { return "router: job " + string(e) + " already running" }
+
+type errUnknownJob string
+
+func (e errUnknownJob) Error() string { return "router: job " + string(e) + " not running" }
+
+// End moves a job to history, stamping its end time, and returns it.
+func (r *JobRegistry) End(jobID string, end time.Time) (*Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	job, ok := r.running[jobID]
+	if !ok {
+		return nil, errUnknownJob(jobID)
+	}
+	delete(r.running, jobID)
+	job.End = end
+	r.history = append(r.history, job)
+	if len(r.history) > r.maxHistory {
+		r.history = r.history[len(r.history)-r.maxHistory:]
+	}
+	return job, nil
+}
+
+// Get finds a job by id among running and finished jobs.
+func (r *JobRegistry) Get(jobID string) (*Job, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if job, ok := r.running[jobID]; ok {
+		return job, true
+	}
+	for i := len(r.history) - 1; i >= 0; i-- {
+		if r.history[i].ID == jobID {
+			return r.history[i], true
+		}
+	}
+	return nil, false
+}
+
+// Running returns a snapshot of the running jobs.
+func (r *JobRegistry) Running() []*Job {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Job, 0, len(r.running))
+	for _, j := range r.running {
+		out = append(out, j)
+	}
+	return out
+}
+
+// History returns a snapshot of the finished jobs, oldest first.
+func (r *JobRegistry) History() []*Job {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Job(nil), r.history...)
+}

@@ -1,0 +1,193 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/lineproto"
+)
+
+// AggFunc names an aggregation function applied to a column of values.
+type AggFunc string
+
+// Supported aggregators. They mirror the InfluxQL functions the LMS
+// dashboards and analysis queries use.
+const (
+	AggNone       AggFunc = ""
+	AggCount      AggFunc = "count"
+	AggSum        AggFunc = "sum"
+	AggMean       AggFunc = "mean"
+	AggMin        AggFunc = "min"
+	AggMax        AggFunc = "max"
+	AggFirst      AggFunc = "first"
+	AggLast       AggFunc = "last"
+	AggSpread     AggFunc = "spread"
+	AggStddev     AggFunc = "stddev"
+	AggMedian     AggFunc = "median"
+	AggPercentile AggFunc = "percentile"
+	AggDerivative AggFunc = "derivative" // per-second first derivative
+)
+
+// ValidAgg reports whether name is a known aggregator.
+func ValidAgg(name string) bool {
+	switch AggFunc(name) {
+	case AggCount, AggSum, AggMean, AggMin, AggMax, AggFirst, AggLast,
+		AggSpread, AggStddev, AggMedian, AggPercentile, AggDerivative:
+		return true
+	}
+	return false
+}
+
+// aggregateColumn applies agg to the named column of the given rows.
+// Rows lacking the column are skipped. String columns support only
+// count/first/last. The bool result is false when no value was produced.
+func aggregateColumn(rows []row, col string, agg AggFunc, pct float64) (lineproto.Value, bool) {
+	switch agg {
+	case AggCount:
+		n := int64(0)
+		for _, r := range rows {
+			if _, ok := r.fields[col]; ok {
+				n++
+			}
+		}
+		if n == 0 {
+			return lineproto.Value{}, false
+		}
+		return lineproto.Int(n), true
+	case AggFirst:
+		for _, r := range rows {
+			if v, ok := r.fields[col]; ok {
+				return v, true
+			}
+		}
+		return lineproto.Value{}, false
+	case AggLast:
+		for i := len(rows) - 1; i >= 0; i-- {
+			if v, ok := rows[i].fields[col]; ok {
+				return v, true
+			}
+		}
+		return lineproto.Value{}, false
+	case AggDerivative:
+		// Per-second rate between first and last sample, matching the
+		// InfluxDB derivative(..., 1s) the dashboards use for counters.
+		var firstT, lastT int64
+		var firstV, lastV float64
+		n := 0
+		for _, r := range rows {
+			v, ok := r.fields[col]
+			if !ok || v.Kind() == lineproto.KindString {
+				continue
+			}
+			if n == 0 {
+				firstT, firstV = r.t, v.FloatVal()
+			}
+			lastT, lastV = r.t, v.FloatVal()
+			n++
+		}
+		if n < 2 || lastT == firstT {
+			return lineproto.Value{}, false
+		}
+		dt := float64(lastT-firstT) / 1e9
+		return lineproto.Float((lastV - firstV) / dt), true
+	}
+
+	// Numeric aggregators.
+	nums := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		v, ok := r.fields[col]
+		if !ok || v.Kind() == lineproto.KindString {
+			continue
+		}
+		nums = append(nums, v.FloatVal())
+	}
+	if len(nums) == 0 {
+		return lineproto.Value{}, false
+	}
+	switch agg {
+	case AggSum:
+		return lineproto.Float(sum(nums)), true
+	case AggMean:
+		return lineproto.Float(sum(nums) / float64(len(nums))), true
+	case AggMin:
+		m := nums[0]
+		for _, v := range nums[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return lineproto.Float(m), true
+	case AggMax:
+		m := nums[0]
+		for _, v := range nums[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return lineproto.Float(m), true
+	case AggSpread:
+		lo, hi := nums[0], nums[0]
+		for _, v := range nums[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return lineproto.Float(hi - lo), true
+	case AggStddev:
+		if len(nums) < 2 {
+			return lineproto.Float(0), true
+		}
+		mean := sum(nums) / float64(len(nums))
+		var ss float64
+		for _, v := range nums {
+			d := v - mean
+			ss += d * d
+		}
+		return lineproto.Float(math.Sqrt(ss / float64(len(nums)-1))), true
+	case AggMedian:
+		return lineproto.Float(percentile(nums, 50)), true
+	case AggPercentile:
+		return lineproto.Float(percentile(nums, pct)), true
+	default:
+		return lineproto.Value{}, false
+	}
+}
+
+func sum(nums []float64) float64 {
+	// Kahan summation keeps long-window aggregates stable.
+	var s, c float64
+	for _, v := range nums {
+		y := v - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s
+}
+
+// percentile returns the p-th percentile (0..100) using linear interpolation
+// between closest ranks. The input slice is not modified.
+func percentile(nums []float64, p float64) float64 {
+	s := append([]float64(nil), nums...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

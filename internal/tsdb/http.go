@@ -1,0 +1,308 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/lineproto"
+)
+
+// Handler exposes a Store over the InfluxDB HTTP API. The LMS router, the
+// host agents (Diamond, cronjobs with curl) and the dashboard agent all talk
+// to this interface (paper Fig. 1):
+//
+//	POST /write?db=<name>[&precision=ns|u|ms|s|m|h]   line-protocol body
+//	GET|POST /query?db=<name>&q=<influxql>            JSON results
+//	GET /ping                                         204 No Content
+//
+// Unknown databases are created on first write, which keeps the
+// "integration effort as low as possible" goal: an agent can start pushing
+// before an administrator provisions anything.
+type Handler struct {
+	store *Store
+	mux   *http.ServeMux
+
+	// AutoCreate controls whether /write creates missing databases.
+	AutoCreate bool
+}
+
+// NewHandler returns an HTTP handler serving the store.
+func NewHandler(store *Store) *Handler {
+	h := &Handler{store: store, AutoCreate: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/write", h.handleWrite)
+	mux.HandleFunc("/query", h.handleQuery)
+	mux.HandleFunc("/ping", h.handlePing)
+	h.mux = mux
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handlePing(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("X-Influxdb-Version", "lms-tsdb-1.0")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// precisionMult returns the multiplier converting a timestamp in the given
+// precision to nanoseconds.
+func precisionMult(p string) (int64, error) {
+	switch p {
+	case "", "ns", "n":
+		return 1, nil
+	case "u", "µ":
+		return int64(time.Microsecond), nil
+	case "ms":
+		return int64(time.Millisecond), nil
+	case "s":
+		return int64(time.Second), nil
+	case "m":
+		return int64(time.Minute), nil
+	case "h":
+		return int64(time.Hour), nil
+	default:
+		return 0, fmt.Errorf("invalid precision %q", p)
+	}
+}
+
+func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	dbName := r.URL.Query().Get("db")
+	if dbName == "" {
+		httpError(w, http.StatusBadRequest, "missing db parameter")
+		return
+	}
+	mult, err := precisionMult(r.URL.Query().Get("precision"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	db := h.store.DB(dbName)
+	if db == nil {
+		if !h.AutoCreate {
+			httpError(w, http.StatusNotFound, "database %q not found", dbName)
+			return
+		}
+		db = h.store.CreateDatabase(dbName)
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	pts, err := lineproto.Parse(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if mult != 1 {
+		for i := range pts {
+			if !pts[i].Time.IsZero() {
+				pts[i].Time = time.Unix(0, pts[i].Time.UnixNano()*mult).UTC()
+			}
+		}
+	}
+	if err := db.WritePoints(pts); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// queryResponse is the top-level InfluxDB JSON document.
+type queryResponse struct {
+	Results []ExecResult `json:"results"`
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qstr, dbName string
+	switch r.Method {
+	case http.MethodGet:
+		qstr = r.URL.Query().Get("q")
+		dbName = r.URL.Query().Get("db")
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			httpError(w, http.StatusBadRequest, "parse form: %v", err)
+			return
+		}
+		qstr = r.Form.Get("q")
+		dbName = r.Form.Get("db")
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		return
+	}
+	if qstr == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	stmts, err := ParseQuery(qstr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := queryResponse{}
+	for _, st := range stmts {
+		res, err := Execute(h.store, dbName, st)
+		if err != nil {
+			res = ExecResult{Err: err.Error()}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Client is a minimal InfluxDB HTTP client used by the LMS components to
+// write to and query a tsdb (or a real InfluxDB, or the router, which mimics
+// this interface).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8086".
+	BaseURL string
+	// Database is the target database for writes and queries.
+	Database string
+	// HTTPClient optionally overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	resp, err := c.httpClient().Get(c.BaseURL + "/ping")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tsdb: ping status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// WriteBody posts a raw line-protocol payload.
+func (c *Client) WriteBody(body []byte) error {
+	url := c.BaseURL + "/write?db=" + c.Database
+	resp, err := c.httpClient().Post(url, "text/plain", readerOf(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("tsdb: write status %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// WritePoints encodes and posts a batch of points.
+func (c *Client) WritePoints(pts []lineproto.Point) error {
+	body, err := lineproto.Encode(pts)
+	if err != nil {
+		return err
+	}
+	return c.WriteBody(body)
+}
+
+// Query runs an InfluxQL statement and decodes the JSON response.
+func (c *Client) Query(q string) ([]ExecResult, error) {
+	url := c.BaseURL + "/query?db=" + c.Database + "&q=" + urlQueryEscape(q)
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("tsdb: query status %d: %s", resp.StatusCode, msg)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, err
+	}
+	for _, r := range qr.Results {
+		if r.Err != "" {
+			return qr.Results, fmt.Errorf("tsdb: %s", r.Err)
+		}
+	}
+	return qr.Results, nil
+}
+
+func urlQueryEscape(s string) string {
+	const hex = "0123456789ABCDEF"
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9',
+			c == '-' || c == '_' || c == '.' || c == '~':
+			b = append(b, c)
+		case c == ' ':
+			b = append(b, '+')
+		default:
+			b = append(b, '%', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return string(b)
+}
+
+// readerOf avoids importing bytes just for NewReader.
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func readerOf(b []byte) io.Reader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// ParseTimestamp converts an InfluxDB JSON time column entry (RFC3339 string
+// or integer nanoseconds) back to time.Time. Helper for client-side result
+// processing in the dashboard and analysis components.
+func ParseTimestamp(v interface{}) (time.Time, error) {
+	switch t := v.(type) {
+	case string:
+		ts, err := time.Parse(time.RFC3339Nano, t)
+		if err != nil {
+			return time.Time{}, err
+		}
+		return ts, nil
+	case float64:
+		return time.Unix(0, int64(t)).UTC(), nil
+	case json.Number:
+		ns, err := strconv.ParseInt(string(t), 10, 64)
+		if err != nil {
+			return time.Time{}, err
+		}
+		return time.Unix(0, ns).UTC(), nil
+	default:
+		return time.Time{}, fmt.Errorf("tsdb: unsupported time column type %T", v)
+	}
+}

@@ -1,0 +1,557 @@
+// Package tsdb implements the time-series database back-end of the LIKWID
+// Monitoring Stack.
+//
+// The paper (Sect. III-C) uses InfluxDB: a time-series store that accepts
+// floating-point metrics as well as string events, written via an HTTP
+// endpoint in the line protocol and read back with InfluxQL queries. This
+// package is a from-scratch, stdlib-only replacement that keeps the parts of
+// the interface LMS depends on:
+//
+//   - a Store holding multiple named databases (the router duplicates job
+//     metrics into per-user databases),
+//   - series organized by measurement + tag set, floats and strings mixed,
+//   - time-range queries with aggregation, GROUP BY time(...) windows and
+//     GROUP BY tag,
+//   - an InfluxDB-compatible HTTP API (/write, /query, /ping) in http.go and
+//     an InfluxQL subset in influxql.go.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lineproto"
+)
+
+// Common errors returned by the storage layer.
+var (
+	ErrNoDatabase    = errors.New("tsdb: database does not exist")
+	ErrNoMeasurement = errors.New("tsdb: measurement does not exist")
+)
+
+// Store is a collection of named databases, the equivalent of one InfluxDB
+// server instance.
+type Store struct {
+	mu  sync.RWMutex
+	dbs map[string]*DB
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{dbs: make(map[string]*DB)}
+}
+
+// CreateDatabase creates (or returns the existing) database with that name.
+func (s *Store) CreateDatabase(name string) *DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if db, ok := s.dbs[name]; ok {
+		return db
+	}
+	db := NewDB(name)
+	s.dbs[name] = db
+	return db
+}
+
+// DB returns the database with that name, or nil.
+func (s *Store) DB(name string) *DB {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dbs[name]
+}
+
+// DropDatabase removes a database and all its contents.
+func (s *Store) DropDatabase(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.dbs, name)
+}
+
+// Databases lists database names in sorted order.
+func (s *Store) Databases() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DB is one named time-series database.
+type DB struct {
+	name string
+
+	mu           sync.RWMutex
+	measurements map[string]*measurement
+	retention    time.Duration // 0 = keep forever
+	lastPrune    time.Time
+}
+
+// NewDB returns an empty database.
+func NewDB(name string) *DB {
+	return &DB{name: name, measurements: make(map[string]*measurement)}
+}
+
+// Name returns the database name.
+func (db *DB) Name() string { return db.name }
+
+// SetRetention configures the retention window. Points older than d relative
+// to the newest inserted point are pruned lazily during writes. Zero disables
+// pruning.
+func (db *DB) SetRetention(d time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.retention = d
+}
+
+type measurement struct {
+	name   string
+	series map[string]*series
+	fields map[string]lineproto.ValueKind
+}
+
+type series struct {
+	tags   map[string]string
+	points []row
+	sorted bool
+}
+
+type row struct {
+	t      int64 // unix nanoseconds
+	fields map[string]lineproto.Value
+}
+
+// seriesKey builds the canonical identity of a tag set.
+func seriesKey(tags map[string]string) string {
+	if len(tags) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(tags[k])
+	}
+	return b.String()
+}
+
+// WritePoint inserts one point. Points without a timestamp get the current
+// time, mirroring InfluxDB's server-side timestamping.
+func (db *DB) WritePoint(p lineproto.Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Time.IsZero() {
+		p.Time = time.Now()
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.writeLocked(p)
+	return nil
+}
+
+// WritePoints inserts a batch of points under a single lock acquisition.
+func (db *DB) WritePoints(pts []lineproto.Point) error {
+	now := time.Now()
+	for i := range pts {
+		if err := pts[i].Validate(); err != nil {
+			return fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, p := range pts {
+		if p.Time.IsZero() {
+			p.Time = now
+		}
+		db.writeLocked(p)
+	}
+	return nil
+}
+
+func (db *DB) writeLocked(p lineproto.Point) {
+	m, ok := db.measurements[p.Measurement]
+	if !ok {
+		m = &measurement{
+			name:   p.Measurement,
+			series: make(map[string]*series),
+			fields: make(map[string]lineproto.ValueKind),
+		}
+		db.measurements[p.Measurement] = m
+	}
+	key := seriesKey(p.Tags)
+	sr, ok := m.series[key]
+	if !ok {
+		tags := make(map[string]string, len(p.Tags))
+		for k, v := range p.Tags {
+			tags[k] = v
+		}
+		sr = &series{tags: tags, sorted: true}
+		m.series[key] = sr
+	}
+	fields := make(map[string]lineproto.Value, len(p.Fields))
+	for k, v := range p.Fields {
+		fields[k] = v
+		m.fields[k] = v.Kind()
+	}
+	ns := p.Time.UnixNano()
+	if n := len(sr.points); n > 0 && sr.points[n-1].t > ns {
+		sr.sorted = false
+	}
+	sr.points = append(sr.points, row{t: ns, fields: fields})
+
+	if db.retention > 0 && time.Since(db.lastPrune) > time.Second {
+		db.lastPrune = time.Now()
+		db.pruneLocked(p.Time.Add(-db.retention).UnixNano())
+	}
+}
+
+func (db *DB) pruneLocked(beforeNS int64) {
+	for mname, m := range db.measurements {
+		for key, sr := range m.series {
+			sr.ensureSorted()
+			idx := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t >= beforeNS })
+			if idx > 0 {
+				sr.points = append([]row(nil), sr.points[idx:]...)
+			}
+			if len(sr.points) == 0 {
+				delete(m.series, key)
+			}
+		}
+		if len(m.series) == 0 {
+			delete(db.measurements, mname)
+		}
+	}
+}
+
+// DropBefore removes all points older than t from every series.
+func (db *DB) DropBefore(t time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pruneLocked(t.UnixNano())
+}
+
+func (sr *series) ensureSorted() {
+	if sr.sorted {
+		return
+	}
+	sort.SliceStable(sr.points, func(i, j int) bool { return sr.points[i].t < sr.points[j].t })
+	sr.sorted = true
+}
+
+// Measurements lists measurement names in sorted order.
+func (db *DB) Measurements() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.measurements))
+	for n := range db.measurements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FieldKeys lists the field keys seen for a measurement, sorted.
+func (db *DB) FieldKeys(measurement string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m, ok := db.measurements[measurement]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(m.fields))
+	for k := range m.fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TagKeys lists tag keys across all series of a measurement, sorted.
+func (db *DB) TagKeys(measurement string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m, ok := db.measurements[measurement]
+	if !ok {
+		return nil
+	}
+	set := map[string]struct{}{}
+	for _, sr := range m.series {
+		for k := range sr.tags {
+			set[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TagValues lists the distinct values of one tag key over a measurement.
+// With measurement == "" it scans all measurements (used by the dashboard
+// agent to discover the hosts participating in a job).
+func (db *DB) TagValues(meas, key string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := map[string]struct{}{}
+	collect := func(m *measurement) {
+		for _, sr := range m.series {
+			if v, ok := sr.tags[key]; ok {
+				set[v] = struct{}{}
+			}
+		}
+	}
+	if meas == "" {
+		for _, m := range db.measurements {
+			collect(m)
+		}
+	} else if m, ok := db.measurements[meas]; ok {
+		collect(m)
+	}
+	vals := make([]string, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// PointCount returns the total number of stored points (all measurements).
+func (db *DB) PointCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, m := range db.measurements {
+		for _, sr := range m.series {
+			n += len(sr.points)
+		}
+	}
+	return n
+}
+
+// TagFilter matches series by tag values. A nil filter matches everything.
+// Values are exact matches; the special value "*" requires only that the tag
+// key exists.
+type TagFilter map[string]string
+
+func (f TagFilter) matches(tags map[string]string) bool {
+	for k, want := range f {
+		got, ok := tags[k]
+		if !ok {
+			return false
+		}
+		if want != "*" && got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Query describes a programmatic read. Zero Start/End mean unbounded. If
+// Every > 0 points are grouped into aligned time windows and Agg is applied
+// per window and field; if Every == 0 and Agg != "" a single aggregate row is
+// produced per series; otherwise raw points are returned.
+type Query struct {
+	Measurement string
+	Start, End  time.Time
+	Filter      TagFilter
+	Fields      []string // nil = all fields
+	GroupByTags []string // produce one result series per distinct combination
+	Every       time.Duration
+	Agg         AggFunc
+	Percentile  float64 // used by AggPercentile
+	Limit       int     // max rows per series, 0 = unlimited
+}
+
+// Row is one result row: a timestamp and one value per requested column.
+// Missing values are represented by a nil entry.
+type Row struct {
+	Time   time.Time
+	Values []*lineproto.Value
+}
+
+// Series is one result series.
+type Series struct {
+	Name    string
+	Tags    map[string]string // group-by tag values
+	Columns []string          // field columns (time excluded)
+	Rows    []Row
+}
+
+// Select executes a query against the database.
+func (db *DB) Select(q Query) ([]Series, error) {
+	db.mu.Lock() // full lock: ensureSorted may reorder points
+	defer db.mu.Unlock()
+	m, ok := db.measurements[q.Measurement]
+	if !ok {
+		return nil, ErrNoMeasurement
+	}
+	cols := q.Fields
+	if len(cols) == 0 {
+		cols = make([]string, 0, len(m.fields))
+		for k := range m.fields {
+			cols = append(cols, k)
+		}
+		sort.Strings(cols)
+	}
+	startNS, endNS := rangeNS(q.Start, q.End)
+
+	// Group matching series by the requested group-by tag combination.
+	type group struct {
+		tags map[string]string
+		rows []row
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, sr := range m.series {
+		if !q.Filter.matches(sr.tags) {
+			continue
+		}
+		sr.ensureSorted()
+		lo := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t >= startNS })
+		hi := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t > endNS })
+		if lo >= hi {
+			continue
+		}
+		gtags := map[string]string{}
+		for _, k := range q.GroupByTags {
+			gtags[k] = sr.tags[k]
+		}
+		key := seriesKey(gtags)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{tags: gtags}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, sr.points[lo:hi]...)
+	}
+	sort.Strings(order)
+
+	var out []Series
+	for _, key := range order {
+		g := groups[key]
+		sort.SliceStable(g.rows, func(i, j int) bool { return g.rows[i].t < g.rows[j].t })
+		res := Series{Name: q.Measurement, Tags: g.tags, Columns: cols}
+		switch {
+		case q.Agg == "" || q.Agg == AggNone:
+			for _, r := range g.rows {
+				vals := make([]*lineproto.Value, len(cols))
+				any := false
+				for i, c := range cols {
+					if v, ok := r.fields[c]; ok {
+						vv := v
+						vals[i] = &vv
+						any = true
+					}
+				}
+				if any {
+					res.Rows = append(res.Rows, Row{Time: time.Unix(0, r.t).UTC(), Values: vals})
+				}
+			}
+		case q.Every > 0:
+			res.Rows = windowAggregate(g.rows, cols, q.Agg, q.Percentile, q.Every, startNS, endNS)
+		default:
+			vals := make([]*lineproto.Value, len(cols))
+			for i, c := range cols {
+				if v, ok := aggregateColumn(g.rows, c, q.Agg, q.Percentile); ok {
+					vv := v
+					vals[i] = &vv
+				}
+			}
+			t := q.Start
+			if t.IsZero() && len(g.rows) > 0 {
+				t = time.Unix(0, g.rows[0].t).UTC()
+			}
+			res.Rows = append(res.Rows, Row{Time: t, Values: vals})
+		}
+		if q.Limit > 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func rangeNS(start, end time.Time) (int64, int64) {
+	startNS := int64(minInt64)
+	endNS := int64(maxInt64)
+	if !start.IsZero() {
+		startNS = start.UnixNano()
+	}
+	if !end.IsZero() {
+		endNS = end.UnixNano()
+	}
+	return startNS, endNS
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// windowAggregate buckets rows into aligned windows of width every and
+// applies agg per column. Empty windows are skipped (InfluxDB fill(none)).
+func windowAggregate(rows []row, cols []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64) []Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	w := every.Nanoseconds()
+	if w <= 0 {
+		return nil
+	}
+	if startNS == minInt64 {
+		startNS = rows[0].t
+	}
+	// Align the first window to a multiple of the interval, like InfluxDB.
+	first := rows[0].t
+	if first < startNS {
+		first = startNS
+	}
+	align := func(t int64) int64 {
+		if t >= 0 {
+			return t - t%w
+		}
+		return t - (w+t%w)%w
+	}
+	var out []Row
+	i := 0
+	for winStart := align(first); i < len(rows); winStart += w {
+		winEnd := winStart + w
+		j := i
+		for j < len(rows) && rows[j].t < winEnd {
+			j++
+		}
+		if j > i {
+			vals := make([]*lineproto.Value, len(cols))
+			for ci, c := range cols {
+				if v, ok := aggregateColumn(rows[i:j], c, agg, pct); ok {
+					vv := v
+					vals[ci] = &vv
+				}
+			}
+			out = append(out, Row{Time: time.Unix(0, winStart).UTC(), Values: vals})
+			i = j
+		}
+		if winStart > endNS {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package usermetric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lineproto"
+)
+
+// The paper (Sect. IV) plans to gather "further information ... through the
+// tooling interfaces of common parallelization solutions like MPI or
+// OpenMP". This file implements those two profilers on top of the
+// libusermetric client: an MPI wrapper in the role of a PMPI interposition
+// layer (per-operation call counts, bytes and time per rank) and an OpenMP
+// region profiler (per-region wall time and imbalance across threads).
+
+// MPIProfiler aggregates MPI call statistics per operation and emits them
+// as "mpi" measurements tagged with rank and operation.
+type MPIProfiler struct {
+	c    *Client
+	rank int
+	tags map[string]string
+
+	mu  sync.Mutex
+	ops map[string]*mpiOpStats
+}
+
+type mpiOpStats struct {
+	calls   int64
+	bytes   int64
+	seconds float64
+}
+
+// NewMPIProfiler wraps a client for one rank. extraTags may be nil.
+func NewMPIProfiler(c *Client, rank int, extraTags map[string]string) *MPIProfiler {
+	tags := map[string]string{"rank": fmt.Sprint(rank)}
+	for k, v := range extraTags {
+		tags[k] = v
+	}
+	return &MPIProfiler{c: c, rank: rank, tags: tags, ops: make(map[string]*mpiOpStats)}
+}
+
+// RecordCall accounts one MPI call (the PMPI wrapper body).
+func (p *MPIProfiler) RecordCall(op string, bytes int64, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.ops[op]
+	if !ok {
+		st = &mpiOpStats{}
+		p.ops[op] = st
+	}
+	st.calls++
+	if bytes > 0 {
+		st.bytes += bytes
+	}
+	st.seconds += d.Seconds()
+}
+
+// Operations lists the recorded operation names, sorted.
+func (p *MPIProfiler) Operations() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.ops))
+	for op := range p.ops {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report emits one "mpi" point per operation with the running totals and
+// resets nothing (totals are cumulative, like PMPI counters read
+// periodically).
+func (p *MPIProfiler) Report() error {
+	p.mu.Lock()
+	type entry struct {
+		op string
+		st mpiOpStats
+	}
+	entries := make([]entry, 0, len(p.ops))
+	for op, st := range p.ops {
+		entries = append(entries, entry{op: op, st: *st})
+	}
+	p.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].op < entries[j].op })
+	for _, e := range entries {
+		tags := map[string]string{"operation": e.op}
+		for k, v := range p.tags {
+			tags[k] = v
+		}
+		err := p.c.MetricFields("mpi", map[string]lineproto.Value{
+			"calls":   lineproto.Int(e.st.calls),
+			"bytes":   lineproto.Int(e.st.bytes),
+			"seconds": lineproto.Float(e.st.seconds),
+		}, tags)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OMPRegionProfiler measures OpenMP parallel regions: wall time per region
+// plus the load imbalance across the participating threads, emitted as
+// "omp" measurements.
+type OMPRegionProfiler struct {
+	c    *Client
+	tags map[string]string
+
+	mu      sync.Mutex
+	regions map[string]*ompRegionStats
+}
+
+type ompRegionStats struct {
+	entries     int64
+	wallSeconds float64
+	// imbalanceSum accumulates (max-min)/max of per-thread busy times.
+	imbalanceSum float64
+}
+
+// NewOMPRegionProfiler wraps a client.
+func NewOMPRegionProfiler(c *Client, extraTags map[string]string) *OMPRegionProfiler {
+	tags := map[string]string{}
+	for k, v := range extraTags {
+		tags[k] = v
+	}
+	return &OMPRegionProfiler{c: c, tags: tags, regions: make(map[string]*ompRegionStats)}
+}
+
+// RecordRegion accounts one execution of a parallel region given the
+// per-thread busy times (the OMPT callback data).
+func (p *OMPRegionProfiler) RecordRegion(region string, threadBusy []time.Duration) error {
+	if len(threadBusy) == 0 {
+		return fmt.Errorf("usermetric: region %q has no threads", region)
+	}
+	var wall, minT, maxT time.Duration
+	for i, d := range threadBusy {
+		if i == 0 || d < minT {
+			minT = d
+		}
+		if d > maxT {
+			maxT = d
+		}
+	}
+	wall = maxT // region ends when the slowest thread finishes
+	imb := 0.0
+	if maxT > 0 {
+		imb = float64(maxT-minT) / float64(maxT)
+	}
+	p.mu.Lock()
+	st, ok := p.regions[region]
+	if !ok {
+		st = &ompRegionStats{}
+		p.regions[region] = st
+	}
+	st.entries++
+	st.wallSeconds += wall.Seconds()
+	st.imbalanceSum += imb
+	p.mu.Unlock()
+	return nil
+}
+
+// Report emits one "omp" point per region.
+func (p *OMPRegionProfiler) Report() error {
+	p.mu.Lock()
+	type entry struct {
+		region string
+		st     ompRegionStats
+	}
+	entries := make([]entry, 0, len(p.regions))
+	for r, st := range p.regions {
+		entries = append(entries, entry{region: r, st: *st})
+	}
+	p.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].region < entries[j].region })
+	for _, e := range entries {
+		tags := map[string]string{"region": e.region}
+		for k, v := range p.tags {
+			tags[k] = v
+		}
+		meanImb := 0.0
+		if e.st.entries > 0 {
+			meanImb = e.st.imbalanceSum / float64(e.st.entries)
+		}
+		err := p.c.MetricFields("omp", map[string]lineproto.Value{
+			"entries":        lineproto.Int(e.st.entries),
+			"wall_seconds":   lineproto.Float(e.st.wallSeconds),
+			"mean_imbalance": lineproto.Float(meanImb),
+		}, tags)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package usermetric
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMPIProfilerAggregation(t *testing.T) {
+	sink := &collectSink{}
+	c := newClient(t, sink, nil)
+	p := NewMPIProfiler(c, 3, map[string]string{"app": "solver"})
+	p.RecordCall("MPI_Allreduce", 1024, 2*time.Millisecond)
+	p.RecordCall("MPI_Allreduce", 1024, 3*time.Millisecond)
+	p.RecordCall("MPI_Send", 4096, time.Millisecond)
+	p.RecordCall("MPI_Barrier", 0, 500*time.Microsecond)
+	if got := p.Operations(); len(got) != 3 || got[0] != "MPI_Allreduce" {
+		t.Fatalf("%v", got)
+	}
+	if err := p.Report(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Flush()
+	pts := sink.points(t)
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	byOp := map[string]int{}
+	for _, pt := range pts {
+		if pt.Measurement != "mpi" {
+			t.Fatalf("measurement %q", pt.Measurement)
+		}
+		if pt.Tags["rank"] != "3" || pt.Tags["app"] != "solver" {
+			t.Fatalf("tags %v", pt.Tags)
+		}
+		byOp[pt.Tags["operation"]]++
+		if pt.Tags["operation"] == "MPI_Allreduce" {
+			if pt.Fields["calls"].IntVal() != 2 || pt.Fields["bytes"].IntVal() != 2048 {
+				t.Fatalf("%+v", pt.Fields)
+			}
+			if math.Abs(pt.Fields["seconds"].FloatVal()-0.005) > 1e-9 {
+				t.Fatalf("seconds %v", pt.Fields["seconds"])
+			}
+		}
+	}
+	if len(byOp) != 3 {
+		t.Fatalf("%v", byOp)
+	}
+}
+
+func TestMPIProfilerCumulative(t *testing.T) {
+	sink := &collectSink{}
+	c := newClient(t, sink, nil)
+	p := NewMPIProfiler(c, 0, nil)
+	p.RecordCall("MPI_Send", 100, time.Millisecond)
+	_ = p.Report()
+	p.RecordCall("MPI_Send", 100, time.Millisecond)
+	_ = p.Report()
+	_ = c.Flush()
+	pts := sink.points(t)
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	// Second report carries the cumulative totals, like PMPI counters.
+	if pts[1].Fields["calls"].IntVal() != 2 || pts[1].Fields["bytes"].IntVal() != 200 {
+		t.Fatalf("%+v", pts[1].Fields)
+	}
+}
+
+func TestMPIProfilerConcurrent(t *testing.T) {
+	sink := &collectSink{}
+	c := newClient(t, sink, nil)
+	p := NewMPIProfiler(c, 0, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.RecordCall("MPI_Isend", 8, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	_ = p.Report()
+	_ = c.Flush()
+	pt := sink.points(t)[0]
+	if pt.Fields["calls"].IntVal() != 800 {
+		t.Fatalf("%+v", pt.Fields)
+	}
+}
+
+func TestOMPRegionProfiler(t *testing.T) {
+	sink := &collectSink{}
+	c := newClient(t, sink, nil)
+	p := NewOMPRegionProfiler(c, map[string]string{"app": "stencil"})
+	// Balanced region: all threads busy 10 ms.
+	err := p.RecordRegion("compute_loop", []time.Duration{
+		10 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Imbalanced region: one thread does half the work.
+	err = p.RecordRegion("reduce_loop", []time.Duration{
+		10 * time.Millisecond, 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Report(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Flush()
+	pts := sink.points(t)
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	byRegion := map[string]map[string]float64{}
+	for _, pt := range pts {
+		if pt.Measurement != "omp" || pt.Tags["app"] != "stencil" {
+			t.Fatalf("%+v", pt)
+		}
+		byRegion[pt.Tags["region"]] = map[string]float64{
+			"wall": pt.Fields["wall_seconds"].FloatVal(),
+			"imb":  pt.Fields["mean_imbalance"].FloatVal(),
+		}
+	}
+	if math.Abs(byRegion["compute_loop"]["imb"]) > 1e-9 {
+		t.Fatalf("balanced imbalance %v", byRegion["compute_loop"]["imb"])
+	}
+	if math.Abs(byRegion["reduce_loop"]["imb"]-0.5) > 1e-9 {
+		t.Fatalf("imbalanced %v", byRegion["reduce_loop"]["imb"])
+	}
+	// Wall time is the slowest thread.
+	if math.Abs(byRegion["reduce_loop"]["wall"]-0.010) > 1e-9 {
+		t.Fatalf("wall %v", byRegion["reduce_loop"]["wall"])
+	}
+}
+
+func TestOMPRegionValidation(t *testing.T) {
+	sink := &collectSink{}
+	c := newClient(t, sink, nil)
+	p := NewOMPRegionProfiler(c, nil)
+	if err := p.RecordRegion("r", nil); err == nil {
+		t.Fatal("empty thread list accepted")
+	}
+	// Zero-duration threads: imbalance defined as 0.
+	if err := p.RecordRegion("r", []time.Duration{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Report()
+	_ = c.Flush()
+	pt := sink.points(t)[0]
+	if pt.Fields["mean_imbalance"].FloatVal() != 0 {
+		t.Fatalf("%+v", pt.Fields)
+	}
+}

@@ -1,0 +1,294 @@
+// Package usermetric is the Go port of LMS's libusermetric (paper
+// Sect. IV): a lightweight application-level annotation library that
+// buffers metrics and events and sends them as batched line-protocol
+// messages over HTTP.
+//
+// Compared to rich annotation systems like Caliper, libusermetric
+// deliberately supports only values and events: a metric has a name, a
+// value (or several fields), default tags configured once, arbitrary
+// per-call tags (such as a thread identifier) and a timestamp. Events are
+// string-valued points in the shared "events" measurement, rendered as
+// annotations by the dashboards.
+package usermetric
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lineproto"
+	"repro/internal/tsdb"
+)
+
+// DefaultFlushInterval is the background flush period when none is
+// configured.
+const DefaultFlushInterval = time.Second
+
+// DefaultMaxBatch is the point count that triggers an early flush.
+const DefaultMaxBatch = 500
+
+// Config configures a Client.
+type Config struct {
+	// Endpoint is the router or database base URL, e.g.
+	// "http://router:8090". Required unless Sink is set.
+	Endpoint string
+	// Database is the target database name (default "lms").
+	Database string
+	// Sink overrides HTTP transmission with a direct callback; used by
+	// in-process simulations and tests. Receives an encoded line-protocol
+	// payload.
+	Sink func(payload []byte) error
+	// DefaultTags are added to every metric and event. The hostname tag
+	// should be present so the router can attach job information.
+	DefaultTags map[string]string
+	// FlushInterval is the background flush period; 0 selects the default,
+	// negative disables background flushing (explicit Flush only).
+	FlushInterval time.Duration
+	// MaxBatch flushes early when this many points are buffered
+	// (default 500).
+	MaxBatch int
+	// OnError observes transmission errors (payloads are retried on the
+	// next flush up to RetryLimit times). Optional.
+	OnError func(error)
+	// RetryLimit bounds re-transmissions of a failed payload (default 3).
+	RetryLimit int
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Client is the libusermetric handle. All methods are safe for concurrent
+// use; metric submission never blocks on the network.
+type Client struct {
+	cfg   Config
+	send  func(payload []byte) error
+	now   func() time.Time
+	batch *lineproto.Batch
+
+	mu      sync.Mutex
+	pending [][]byte // failed payloads awaiting retry
+	retries int
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	sent    int64
+	dropped int64
+}
+
+// New validates the configuration and starts the background flusher.
+func New(cfg Config) (*Client, error) {
+	if cfg.Endpoint == "" && cfg.Sink == nil {
+		return nil, fmt.Errorf("usermetric: Endpoint or Sink required")
+	}
+	if cfg.Database == "" {
+		cfg.Database = "lms"
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Client{
+		cfg:   cfg,
+		now:   cfg.Now,
+		batch: lineproto.NewBatch(cfg.DefaultTags),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.Sink != nil {
+		c.send = cfg.Sink
+	} else {
+		client := &tsdb.Client{BaseURL: strings.TrimRight(cfg.Endpoint, "/"), Database: cfg.Database, HTTPClient: cfg.HTTPClient}
+		c.send = client.WriteBody
+	}
+	if cfg.FlushInterval > 0 {
+		go c.flushLoop()
+	} else {
+		close(c.done)
+	}
+	return c, nil
+}
+
+func (c *Client) flushLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := c.Flush(); err != nil && c.cfg.OnError != nil {
+				c.cfg.OnError(err)
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Metric buffers a single-value metric. Extra tags override default tags on
+// collision.
+func (c *Client) Metric(name string, value float64, tags map[string]string) error {
+	return c.MetricFields(name, map[string]lineproto.Value{"value": lineproto.Float(value)}, tags)
+}
+
+// MetricFields buffers a multi-field metric.
+func (c *Client) MetricFields(name string, fields map[string]lineproto.Value, tags map[string]string) error {
+	p := lineproto.Point{Measurement: name, Tags: tags, Fields: fields}
+	if err := c.batch.Add(p, c.now()); err != nil {
+		return fmt.Errorf("usermetric: %w", err)
+	}
+	if c.batch.Len() >= c.cfg.MaxBatch {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Event buffers a string event into the "events" measurement. Events mark
+// points in time (application start/end, phase changes) and appear as
+// dashed annotation lines in the dashboards (paper Fig. 3).
+func (c *Client) Event(text string, tags map[string]string) error {
+	p := lineproto.Point{
+		Measurement: "events",
+		Tags:        tags,
+		Fields:      map[string]lineproto.Value{"text": lineproto.String(text)},
+	}
+	if err := c.batch.Add(p, c.now()); err != nil {
+		return fmt.Errorf("usermetric: %w", err)
+	}
+	if c.batch.Len() >= c.cfg.MaxBatch {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush transmits the buffered batch plus any pending retries. Failed
+// payloads are kept for the next flush until RetryLimit is exceeded, then
+// dropped (monitoring must never stall the application).
+func (c *Client) Flush() error {
+	payload := c.batch.Flush()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if payload != nil {
+		c.pending = append(c.pending, payload)
+	}
+	var firstErr error
+	for len(c.pending) > 0 {
+		p := c.pending[0]
+		if err := c.send(p); err != nil {
+			c.retries++
+			if c.retries > c.cfg.RetryLimit {
+				c.dropped += int64(countLines(p))
+				c.pending = c.pending[1:]
+				c.retries = 0
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			break // try again next flush
+		}
+		c.sent += int64(countLines(p))
+		c.pending = c.pending[1:]
+		c.retries = 0
+	}
+	return firstErr
+}
+
+func countLines(p []byte) int {
+	n := 0
+	for _, b := range p {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the number of points transmitted and dropped.
+func (c *Client) Stats() (sent, dropped int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.dropped
+}
+
+// Close flushes remaining data and stops the background flusher. The client
+// must not be used afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.cfg.FlushInterval > 0 {
+		close(c.stop)
+		<-c.done
+	}
+	return c.Flush()
+}
+
+// --- application-transparent wrappers ---------------------------------------
+
+// The paper describes automatically preloadable libraries that overload
+// common functions for thread affinity and data allocation, providing
+// monitoring data in an application-transparent way. Go has no LD_PRELOAD,
+// so the equivalents are explicit instrumentation hooks with the same
+// output: metrics named like the preload libraries emit them.
+
+// Tracker mirrors the preloadable instrumentation: it observes allocations
+// and thread-affinity changes and reports them through a Client.
+type Tracker struct {
+	c  *Client
+	mu sync.Mutex
+	// current allocation total in bytes
+	allocated int64
+}
+
+// NewTracker wraps a client.
+func NewTracker(c *Client) *Tracker { return &Tracker{c: c} }
+
+// TrackAlloc records an allocation (positive) or free (negative) of n bytes
+// and emits the running total, like the malloc-overloading preload library.
+func (t *Tracker) TrackAlloc(n int64, tags map[string]string) error {
+	t.mu.Lock()
+	t.allocated += n
+	if t.allocated < 0 {
+		t.allocated = 0
+	}
+	total := t.allocated
+	t.mu.Unlock()
+	return t.c.MetricFields("app_allocation", map[string]lineproto.Value{
+		"delta": lineproto.Int(n),
+		"total": lineproto.Int(total),
+	}, tags)
+}
+
+// Allocated returns the currently tracked allocation total.
+func (t *Tracker) Allocated() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.allocated
+}
+
+// TrackAffinity records that a thread was pinned to a CPU, like the
+// pthread_setaffinity-overloading preload library.
+func (t *Tracker) TrackAffinity(threadID, cpu int, tags map[string]string) error {
+	merged := map[string]string{"tid": fmt.Sprint(threadID)}
+	for k, v := range tags {
+		merged[k] = v
+	}
+	return t.c.MetricFields("app_affinity", map[string]lineproto.Value{
+		"cpu": lineproto.Int(int64(cpu)),
+	}, merged)
+}

@@ -1,0 +1,99 @@
+// Package lms is the public facade of the LIKWID Monitoring Stack (LMS)
+// reproduction: a job-specific performance monitoring framework for small
+// to medium sized commodity clusters, after
+//
+//	T. Röhl, J. Eitzinger, G. Hager, G. Wellein:
+//	"LIKWID Monitoring Stack: A flexible framework enabling job specific
+//	performance monitoring for the masses", IEEE CLUSTER 2017
+//	(arXiv:1708.01476).
+//
+// The stack consists of loosely coupled components (paper Fig. 1), each of
+// which also works standalone:
+//
+//   - a time-series database with an InfluxDB-compatible HTTP API
+//     (internal/tsdb),
+//   - the metrics router with the hostname-keyed tag store, job start/end
+//     signals, per-user duplication and a ZeroMQ-style publisher
+//     (internal/router, internal/pubsub),
+//   - host agents collecting system metrics and LIKWID hardware performance
+//     metrics (internal/collector, internal/proc, internal/hpm),
+//   - the libusermetric application-level annotation library
+//     (internal/usermetric),
+//   - the Ganglia gmond pulling proxy (internal/gmond),
+//   - the dashboard agent generating Grafana-model dashboards from
+//     templates plus a web viewer (internal/dashboard),
+//   - the analysis layer: threshold/timeout rules for pathological jobs and
+//     the performance-pattern decision tree (internal/analysis),
+//   - a batch scheduler and synthetic workload models that stand in for a
+//     production cluster (internal/jobsched, internal/workload),
+//
+// wired together by internal/core. This package re-exports the composition
+// entry points; see the examples/ directory for runnable scenarios and
+// DESIGN.md for the substitution map (real hardware -> simulation).
+package lms
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/jobsched"
+	"repro/internal/workload"
+)
+
+// Stack is an assembled LMS instance (database, router, publisher,
+// dashboard agent, viewer, evaluator).
+type Stack = core.Stack
+
+// StackConfig configures NewStack.
+type StackConfig = core.StackConfig
+
+// NewStack builds a full monitoring stack.
+func NewStack(cfg StackConfig) (*Stack, error) { return core.NewStack(cfg) }
+
+// Simulation drives a simulated cluster against a stack.
+type Simulation = core.Simulation
+
+// SimConfig describes the simulated cluster.
+type SimConfig = core.SimConfig
+
+// NewSimulatedStack builds a stack plus a simulation sharing one clock.
+func NewSimulatedStack(scfg StackConfig, simCfg SimConfig) (*Stack, *Simulation, error) {
+	return core.NewSimulatedStack(scfg, simCfg)
+}
+
+// SimTime converts simulated seconds into stored timestamps.
+var SimTime = core.SimTime
+
+// JobRequest describes a batch job submission.
+type JobRequest = jobsched.JobRequest
+
+// JobMeta identifies a job for analysis and dashboards.
+type JobMeta = analysis.JobMeta
+
+// Workload models (see internal/workload for the full set).
+type (
+	// WorkloadModel is the per-node behaviour of a job.
+	WorkloadModel = workload.Model
+	// MiniMD is the Mantevo miniMD proxy application model (paper Fig. 3).
+	MiniMD = workload.MiniMD
+	// Triad is a bandwidth-bound streaming kernel.
+	Triad = workload.Triad
+	// DGEMM is a compute-bound kernel.
+	DGEMM = workload.DGEMM
+	// IdleBreak reproduces the Fig. 4 pathological job.
+	IdleBreak = workload.IdleBreak
+	// LoadImbalance reproduces the strong-scaling pathology.
+	LoadImbalance = workload.LoadImbalance
+)
+
+// NewMiniMD constructs a miniMD run (cores per node, atoms, iterations).
+var NewMiniMD = workload.NewMiniMD
+
+// NewTriad constructs a streaming workload (cores per node, runtime).
+var NewTriad = workload.NewTriad
+
+// NewDGEMM constructs a compute workload (cores per node, runtime).
+var NewDGEMM = workload.NewDGEMM
+
+// NewIdleBreak constructs the Fig. 4 workload (cores, runtime, break
+// start, break end in job seconds).
+var NewIdleBreak = workload.NewIdleBreak
