@@ -13,51 +13,63 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cli"
 	"repro/internal/lineproto"
 	"repro/internal/tsdb"
 )
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "lms-analyze: "+format+"\n", args...)
-	os.Exit(1)
-}
+// errPathological marks a successfully analyzed but flagged job; main turns
+// it into exit status 3 so batch scripts can filter.
+var errPathological = errors.New("job flagged as pathological")
 
 func main() {
-	dataPath := flag.String("data", "", "line-protocol dump file (required)")
-	jobID := flag.String("job", "", "job id (required)")
-	user := flag.String("user", "", "job owner")
-	nodesArg := flag.String("nodes", "", "comma-separated node list (default: hostnames found in the data)")
-	startArg := flag.String("start", "", "job start (RFC3339; default: earliest sample)")
-	endArg := flag.String("end", "", "job end (RFC3339; default: latest sample)")
-	peakBW := flag.Float64("peak-membw", 60000, "achievable node memory bandwidth [MB/s] for the pattern tree")
-	peakFlops := flag.Float64("peak-flops", 352000, "peak node DP rate [MFLOP/s] for the pattern tree")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, errPathological) {
+		os.Exit(3) // scriptable: non-zero for flagged jobs
+	}
+	cli.Exit("lms-analyze", err)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-analyze", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "line-protocol dump file (required)")
+	jobID := fs.String("job", "", "job id (required)")
+	user := fs.String("user", "", "job owner")
+	nodesArg := fs.String("nodes", "", "comma-separated node list (default: hostnames found in the data)")
+	startArg := fs.String("start", "", "job start (RFC3339; default: earliest sample)")
+	endArg := fs.String("end", "", "job end (RFC3339; default: latest sample)")
+	peakBW := fs.Float64("peak-membw", 60000, "achievable node memory bandwidth [MB/s] for the pattern tree")
+	peakFlops := fs.Float64("peak-flops", 352000, "peak node DP rate [MFLOP/s] for the pattern tree")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	if *dataPath == "" || *jobID == "" {
-		flag.Usage()
-		os.Exit(2)
+		return cli.UsageErr(fs, "-data and -job are required")
 	}
 	raw, err := os.ReadFile(*dataPath)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	pts, err := lineproto.Parse(raw)
 	if err != nil {
-		fatalf("parse %s: %v", *dataPath, err)
+		return fmt.Errorf("parse %s: %w", *dataPath, err)
 	}
 	if len(pts) == 0 {
-		fatalf("no points in %s", *dataPath)
+		return fmt.Errorf("no points in %s", *dataPath)
 	}
 	db := tsdb.NewDB("offline")
-	if err := db.WritePoints(pts); err != nil {
-		fatalf("load: %v", err)
+	if err := db.WriteBatch(pts); err != nil {
+		return fmt.Errorf("load: %w", err)
 	}
 
 	var nodes []string
@@ -67,7 +79,7 @@ func main() {
 		nodes = db.TagValues("", "hostname")
 	}
 	if len(nodes) == 0 {
-		fatalf("no nodes given and no hostname tags found")
+		return fmt.Errorf("no nodes given and no hostname tags found")
 	}
 
 	start, end := pts[0].Time, pts[0].Time
@@ -81,12 +93,12 @@ func main() {
 	}
 	if *startArg != "" {
 		if start, err = time.Parse(time.RFC3339, *startArg); err != nil {
-			fatalf("bad -start: %v", err)
+			return fmt.Errorf("bad -start: %w", err)
 		}
 	}
 	if *endArg != "" {
 		if end, err = time.Parse(time.RFC3339, *endArg); err != nil {
-			fatalf("bad -end: %v", err)
+			return fmt.Errorf("bad -end: %w", err)
 		}
 	}
 
@@ -95,10 +107,11 @@ func main() {
 		ID: *jobID, User: *user, Nodes: nodes, Start: start, End: end,
 	})
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Print(rep.FormatTable())
+	fmt.Fprint(stdout, rep.FormatTable())
 	if rep.Pathological() {
-		os.Exit(3) // scriptable: non-zero for flagged jobs
+		return errPathological
 	}
+	return nil
 }

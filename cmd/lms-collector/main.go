@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -24,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/collector"
 	"repro/internal/hpm"
 	"repro/internal/workload"
@@ -59,23 +61,28 @@ func pickWorkload(name string, cores int) (workload.Model, error) {
 	}
 }
 
-func main() {
-	hostname := flag.String("hostname", "", "hostname tag (default: os.Hostname)")
-	endpoint := flag.String("endpoint", "http://127.0.0.1:8090", "router or database base URL")
-	dbName := flag.String("db", "lms", "database name")
-	interval := flag.Duration("interval", 10*time.Second, "collection interval")
-	perCore := flag.Bool("per-core", false, "emit per-core CPU utilization")
-	simulate := flag.String("simulate", "", "drive simulated HPM counters with a workload (triad, dgemm, minimd)")
-	groups := flag.String("groups", "MEM_DP", "comma-separated LIKWID performance groups")
-	groupDir := flag.String("group-dir", "", "directory with site-local performance group files (*.txt)")
-	cluster := flag.String("cluster", "", "optional cluster tag")
-	flag.Parse()
+func main() { cli.Main("lms-collector", run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-collector", flag.ContinueOnError)
+	hostname := fs.String("hostname", "", "hostname tag (default: os.Hostname)")
+	endpoint := fs.String("endpoint", "http://127.0.0.1:8090", "router or database base URL")
+	dbName := fs.String("db", "lms", "database name")
+	interval := fs.Duration("interval", 10*time.Second, "collection interval")
+	perCore := fs.Bool("per-core", false, "emit per-core CPU utilization")
+	simulate := fs.String("simulate", "", "drive simulated HPM counters with a workload (triad, dgemm, minimd)")
+	groups := fs.String("groups", "MEM_DP", "comma-separated LIKWID performance groups")
+	groupDir := fs.String("group-dir", "", "directory with site-local performance group files (*.txt)")
+	cluster := fs.String("cluster", "", "optional cluster tag")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	host := *hostname
 	if host == "" {
 		h, err := os.Hostname()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		host = h
 	}
@@ -94,19 +101,19 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fs := realProcFS{}
+	procFS := realProcFS{}
 	for _, p := range []collector.Plugin{
-		&collector.LoadPlugin{FS: fs},
-		&collector.CPUPlugin{FS: fs, PerCore: *perCore},
-		&collector.MemoryPlugin{FS: fs},
-		&collector.NetworkPlugin{FS: fs},
-		&collector.DiskPlugin{FS: fs},
+		&collector.LoadPlugin{FS: procFS},
+		&collector.CPUPlugin{FS: procFS, PerCore: *perCore},
+		&collector.MemoryPlugin{FS: procFS},
+		&collector.NetworkPlugin{FS: procFS},
+		&collector.DiskPlugin{FS: procFS},
 	} {
 		if err := agent.Register(p); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -114,23 +121,23 @@ func main() {
 		topo := hpm.DefaultTopology()
 		machine, err := hpm.NewMachine(topo)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		model, err := pickWorkload(*simulate, topo.NumHWThreads())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		groupSet := hpm.Builtin()
 		if *groupDir != "" {
 			loaded, err := groupSet.LoadDir(*groupDir)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("lms-collector: loaded custom groups %v from %s\n", loaded, *groupDir)
+			fmt.Fprintf(stdout, "lms-collector: loaded custom groups %v from %s\n", loaded, *groupDir)
 		}
 		for core := 0; core < topo.NumHWThreads(); core++ {
 			if err := machine.SetRates(core, model.ProfileAt(1, core).Rates(topo.BaseClockMHz)); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		for _, g := range strings.Split(*groups, ",") {
@@ -139,7 +146,7 @@ func main() {
 				continue
 			}
 			if err := agent.Register(&collector.HPMPlugin{Machine: machine, GroupName: g, Groups: groupSet}); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		// Advance the simulated counters in real time.
@@ -152,11 +159,12 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("lms-collector: host %s -> %s every %v (plugins: %s)\n",
+	fmt.Fprintf(stdout, "lms-collector: host %s -> %s every %v (plugins: %s)\n",
 		host, *endpoint, *interval, strings.Join(agent.Plugins(), ", "))
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() { <-sig; close(stop) }()
 	agent.Run(stop)
+	return nil
 }

@@ -12,48 +12,49 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cli"
 	"repro/internal/dashboard"
 	"repro/internal/lineproto"
 	"repro/internal/tsdb"
 )
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "lms-dashboard: "+format+"\n", args...)
-	os.Exit(1)
-}
+func main() { cli.Main("lms-dashboard", run) }
 
-func main() {
-	dataPath := flag.String("data", "", "line-protocol dump file (required)")
-	jobID := flag.String("job", "", "job id (required)")
-	user := flag.String("user", "", "job owner")
-	nodesArg := flag.String("nodes", "", "comma-separated node list (default: hostnames in the data)")
-	render := flag.Bool("render", false, "render the panels as text instead of emitting JSON")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-dashboard", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "line-protocol dump file (required)")
+	jobID := fs.String("job", "", "job id (required)")
+	user := fs.String("user", "", "job owner")
+	nodesArg := fs.String("nodes", "", "comma-separated node list (default: hostnames in the data)")
+	render := fs.Bool("render", false, "render the panels as text instead of emitting JSON")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 	if *dataPath == "" || *jobID == "" {
-		flag.Usage()
-		os.Exit(2)
+		return cli.UsageErr(fs, "-data and -job are required")
 	}
 
 	raw, err := os.ReadFile(*dataPath)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	pts, err := lineproto.Parse(raw)
 	if err != nil {
-		fatalf("parse: %v", err)
+		return fmt.Errorf("parse: %w", err)
 	}
 	if len(pts) == 0 {
-		fatalf("empty dump")
+		return fmt.Errorf("empty dump")
 	}
 	store := tsdb.NewStore()
 	db := store.CreateDatabase("lms")
-	if err := db.WritePoints(pts); err != nil {
-		fatalf("load: %v", err)
+	if err := db.WriteBatch(pts); err != nil {
+		return fmt.Errorf("load: %w", err)
 	}
 
 	var nodes []string
@@ -78,22 +79,23 @@ func main() {
 		Start: start, End: end.Add(time.Second),
 	})
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if err := d.Validate(); err != nil {
-		fatalf("generated dashboard invalid: %v", err)
+		return fmt.Errorf("generated dashboard invalid: %w", err)
 	}
 	if *render {
 		text, err := dashboard.RenderDashboard(store, "lms", d)
 		if err != nil {
-			fatalf("render: %v", err)
+			return fmt.Errorf("render: %w", err)
 		}
-		fmt.Print(text)
-		return
+		fmt.Fprint(stdout, text)
+		return nil
 	}
 	out, err := d.MarshalIndent()
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Println(string(out))
+	fmt.Fprintln(stdout, string(out))
+	return nil
 }

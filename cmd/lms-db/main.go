@@ -2,32 +2,49 @@
 // LIKWID Monitoring Stack: an InfluxDB-compatible HTTP server
 // (POST /write, GET /query, GET /ping).
 //
+// The store is shard-partitioned per database for multi-core ingest; the
+// -shards flag overrides the lock-shard count (default: GOMAXPROCS).
+//
 // Usage:
 //
-//	lms-db -addr :8086 -db lms -retention 720h
+//	lms-db -addr :8086 -db lms -retention 720h -shards 8
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net"
 	"net/http"
 
+	"repro/internal/cli"
 	"repro/internal/tsdb"
 )
 
-func main() {
-	addr := flag.String("addr", ":8086", "listen address")
-	dbName := flag.String("db", "lms", "database to create at startup")
-	retention := flag.Duration("retention", 0, "drop data older than this (0 = keep forever)")
-	flag.Parse()
+func main() { cli.Main("lms-db", run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-db", flag.ContinueOnError)
+	addr := fs.String("addr", ":8086", "listen address")
+	dbName := fs.String("db", "lms", "database to create at startup")
+	retention := fs.Duration("retention", 0, "drop data older than this (0 = keep forever)")
+	shards := fs.Int("shards", 0, "lock shards per database (0 = GOMAXPROCS)")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	store := tsdb.NewStore()
+	store.ShardsPerDB = *shards
 	db := store.CreateDatabase(*dbName)
 	if *retention > 0 {
 		db.SetRetention(*retention)
 	}
 	handler := tsdb.NewHandler(store)
-	fmt.Printf("lms-db: serving database %q on %s\n", *dbName, *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "lms-db: serving database %q (%d shards) on %s\n",
+		*dbName, db.ShardCount(), ln.Addr())
+	return http.Serve(ln, handler)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"--help"}, &out); err != nil {
+		t.Fatalf("run(--help) = %v, want nil", err)
+	}
+	for _, flag := range []string{"-addr", "-db", "-retention", "-shards"} {
+		if !strings.Contains(out.String(), flag) {
+			t.Errorf("help output missing %s:\n%s", flag, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("run(-no-such-flag) = nil, want error")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-addr", "256.256.256.256:http"}, &out); err == nil {
+		t.Fatal("run with unbindable addr = nil, want error")
+	}
+}
+
+// TestRunServes boots the server on an ephemeral port and exercises the
+// /ping and /write endpoints end to end.
+func TestRunServes(t *testing.T) {
+	pr, pw := io.Pipe()
+	go func() {
+		if err := run([]string{"-addr", "127.0.0.1:0", "-shards", "2"}, pw); err != nil {
+			pw.CloseWithError(fmt.Errorf("run: %w", err))
+		}
+	}()
+	// The first output line announces the bound address.
+	buf := make([]byte, 256)
+	n, err := pr.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := string(buf[:n])
+	m := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`).FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("no address in startup line %q", line)
+	}
+	base := "http://" + m[1]
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(base + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("/ping status = %d", resp.StatusCode)
+	}
+	resp, err = client.Post(base+"/write?db=lms", "text/plain",
+		strings.NewReader("cpu,hostname=h1 value=1 1500000000000000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("/write status = %d", resp.StatusCode)
+	}
+}

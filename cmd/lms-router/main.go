@@ -1,8 +1,8 @@
 // Command lms-router runs the standalone LMS metrics router. It mimics the
 // InfluxDB /write interface, tags incoming metrics with job information
-// from its tag store, forwards them to the database back-end, optionally
-// duplicates job metrics into per-user databases and publishes everything
-// on a ZeroMQ-style PUB socket.
+// from its tag store, forwards them in per-destination batches to the
+// database back-end, optionally duplicates job metrics into per-user
+// databases and publishes everything on a ZeroMQ-style PUB socket.
 //
 // Job signals are received on POST /api/job/start and /api/job/end with a
 // JSON body {"jobid": "...", "username": "...", "nodes": ["h1", ...]}.
@@ -16,22 +16,29 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net"
 	"net/http"
 
+	"repro/internal/cli"
 	"repro/internal/pubsub"
 	"repro/internal/router"
 	"repro/internal/tsdb"
 )
 
-func main() {
-	addr := flag.String("addr", ":8090", "listen address")
-	dbURL := flag.String("db-url", "http://127.0.0.1:8086", "database back-end base URL")
-	dbName := flag.String("db", "lms", "primary database name")
-	userDBs := flag.Bool("user-dbs", false, "duplicate job metrics into per-user databases")
-	publish := flag.String("publish", "", "ZeroMQ-style publisher listen address (empty = off)")
-	hwm := flag.Int("publish-hwm", 0, "publisher high-water mark (0 = default)")
-	flag.Parse()
+func main() { cli.Main("lms-router", run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-router", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	dbURL := fs.String("db-url", "http://127.0.0.1:8086", "database back-end base URL")
+	dbName := fs.String("db", "lms", "primary database name")
+	userDBs := fs.Bool("user-dbs", false, "duplicate job metrics into per-user databases")
+	publish := fs.String("publish", "", "ZeroMQ-style publisher listen address (empty = off)")
+	hwm := fs.Int("publish-hwm", 0, "publisher high-water mark (0 = default)")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	cfg := router.Config{
 		Primary: &tsdb.Client{BaseURL: *dbURL, Database: *dbName},
@@ -44,16 +51,20 @@ func main() {
 	if *publish != "" {
 		pub, err := pubsub.NewPublisher(*publish, *hwm)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer pub.Close()
 		cfg.Publisher = pub
-		fmt.Printf("lms-router: publishing on %s\n", pub.Addr())
+		fmt.Fprintf(stdout, "lms-router: publishing on %s\n", pub.Addr())
 	}
 	rt, err := router.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("lms-router: forwarding to %s (db %q) on %s\n", *dbURL, *dbName, *addr)
-	log.Fatal(http.ListenAndServe(*addr, rt))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "lms-router: forwarding to %s (db %q) on %s\n", *dbURL, *dbName, ln.Addr())
+	return http.Serve(ln, rt)
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"--help"}, &out); err != nil {
+		t.Fatalf("run(--help) = %v, want nil", err)
+	}
+	for _, flag := range []string{"-addr", "-db-url", "-user-dbs", "-publish"} {
+		if !strings.Contains(out.String(), flag) {
+			t.Errorf("help output missing %s:\n%s", flag, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("run(-bogus) = nil, want error")
+	}
+}
+
+func TestRunBadPublishAddr(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-publish", "256.256.256.256:http"}, &out); err == nil {
+		t.Fatal("run with unbindable publisher addr = nil, want error")
+	}
+}
+
+// TestRunServes boots the router on an ephemeral port and checks the
+// InfluxDB-mimicking /ping plus the job API surface.
+func TestRunServes(t *testing.T) {
+	pr, pw := io.Pipe()
+	go func() {
+		if err := run([]string{"-addr", "127.0.0.1:0"}, pw); err != nil {
+			pw.CloseWithError(fmt.Errorf("run: %w", err))
+		}
+	}()
+	buf := make([]byte, 256)
+	n, err := pr.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := string(buf[:n])
+	m := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`).FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("no address in startup line %q", line)
+	}
+	base := "http://" + m[1]
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(base + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("/ping status = %d", resp.StatusCode)
+	}
+	if v := resp.Header.Get("X-Influxdb-Version"); v == "" {
+		t.Error("/ping missing X-Influxdb-Version header")
+	}
+	resp, err = client.Get(base + "/api/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/jobs status = %d", resp.StatusCode)
+	}
+	if got := strings.TrimSpace(string(body)); got != "[]" && got != "null" {
+		t.Fatalf("/api/jobs = %q, want empty list", got)
+	}
+}

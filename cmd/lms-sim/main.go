@@ -17,11 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dashboard"
 	"repro/internal/jobsched"
@@ -29,11 +31,6 @@ import (
 	"repro/internal/tsdb"
 	"repro/internal/workload"
 )
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "lms-sim: "+format+"\n", args...)
-	os.Exit(1)
-}
 
 type scenario struct {
 	nodes    int
@@ -92,57 +89,67 @@ func scenarios() map[string]scenario {
 	}
 }
 
-func main() {
-	scenarioName := flag.String("scenario", "mixed", "minimd, pathological or mixed")
-	httpAddr := flag.String("http", ":8080", "web viewer listen address (empty = off)")
-	dbAddr := flag.String("db-http", "", "serve the InfluxDB-compatible API here (empty = off)")
-	publish := flag.String("publish", "", "ZeroMQ-style publisher address (empty = off)")
-	interval := flag.Float64("interval", 60, "collection interval in simulated seconds")
-	dump := flag.String("dump", "", "write collected data as line protocol to this file")
-	flag.Parse()
+func main() { cli.Main("lms-sim", run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-sim", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "mixed", "minimd, pathological or mixed")
+	httpAddr := fs.String("http", ":8080", "web viewer listen address (empty = off)")
+	dbAddr := fs.String("db-http", "", "serve the InfluxDB-compatible API here (empty = off)")
+	publish := fs.String("publish", "", "ZeroMQ-style publisher address (empty = off)")
+	interval := fs.Float64("interval", 60, "collection interval in simulated seconds")
+	duration := fs.Float64("duration", 0, "override the scenario's simulated duration in seconds (0 = scenario default)")
+	shards := fs.Int("shards", 0, "tsdb lock shards per database (0 = GOMAXPROCS)")
+	dump := fs.String("dump", "", "write collected data as line protocol to this file")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	sc, ok := scenarios()[*scenarioName]
 	if !ok {
-		fatalf("unknown scenario %q", *scenarioName)
+		return cli.Usagef("unknown scenario %q", *scenarioName)
 	}
 	stack, sim, err := core.NewSimulatedStack(
-		core.StackConfig{PerUserDBs: true, PubSubAddr: *publish},
+		core.StackConfig{PerUserDBs: true, PubSubAddr: *publish, TSDBShards: *shards},
 		core.SimConfig{Nodes: sc.nodes, CollectInterval: *interval},
 	)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer stack.Close()
 
 	if *httpAddr != "" {
 		go func() {
-			fmt.Printf("lms-sim: web viewer on http://localhost%s/\n", *httpAddr)
+			fmt.Fprintf(stdout, "lms-sim: web viewer on http://localhost%s/\n", *httpAddr)
 			log.Println(http.ListenAndServe(*httpAddr, stack.Viewer))
 		}()
 	}
 	if *dbAddr != "" {
 		go func() {
-			fmt.Printf("lms-sim: database API on http://localhost%s/\n", *dbAddr)
+			fmt.Fprintf(stdout, "lms-sim: database API on http://localhost%s/\n", *dbAddr)
 			log.Println(http.ListenAndServe(*dbAddr, stack.DBHandler))
 		}()
 	}
 
 	if err := sc.submit(sim); err != nil {
-		fatalf("submit: %v", err)
+		return fmt.Errorf("submit: %w", err)
 	}
-	duration := sc.duration
-	if duration == 0 {
+	secs := sc.duration
+	if *duration > 0 {
+		secs = *duration
+	}
+	if secs == 0 {
 		// minimd: model duration plus slack.
-		duration = workload.NewMiniMD(20, 2097152, 40000).Duration() + 300
+		secs = workload.NewMiniMD(20, 2097152, 40000).Duration() + 300
 	}
-	fmt.Printf("lms-sim: scenario %q on %d nodes, %.0f simulated seconds, sampling every %.0fs\n",
-		*scenarioName, sc.nodes, duration, *interval)
-	if err := sim.Run(duration); err != nil {
-		fatalf("run: %v", err)
+	fmt.Fprintf(stdout, "lms-sim: scenario %q on %d nodes, %.0f simulated seconds, sampling every %.0fs\n",
+		*scenarioName, sc.nodes, secs, *interval)
+	if err := sim.Run(secs); err != nil {
+		return fmt.Errorf("run: %w", err)
 	}
 
 	rec, fwd, drop := stack.Router.Stats()
-	fmt.Printf("lms-sim: router received %d, forwarded %d, dropped %d points; db holds %d points\n",
+	fmt.Fprintf(stdout, "lms-sim: router received %d, forwarded %d, dropped %d points; db holds %d points\n",
 		rec, fwd, drop, stack.DB.PointCount())
 
 	// Per-job evaluation (Fig. 2 header) for every finished job, feeding
@@ -152,37 +159,38 @@ func main() {
 	for _, job := range sim.Sched.Finished() {
 		rep, err := stack.Evaluator.Evaluate(sim.JobMeta(job))
 		if err != nil {
-			fatalf("evaluate %s: %v", job.Req.ID, err)
+			return fmt.Errorf("evaluate %s: %w", job.Req.ID, err)
 		}
-		fmt.Println()
-		fmt.Print(rep.FormatTable())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rep.FormatTable())
 		usage.Add(analysis.RecordFromReport(rep))
 	}
 	if usage.Len() > 0 {
-		fmt.Println()
-		fmt.Print(usage.FormatReport())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, usage.FormatReport())
 	}
 	// Rendered user view for the first job (Fig. 3 / Fig. 4 timelines).
 	if fin := sim.Sched.Finished(); len(fin) > 0 {
 		meta := sim.JobMeta(fin[0])
 		d, err := stack.Agent.GenerateJobDashboard(meta)
 		if err != nil {
-			fatalf("dashboard: %v", err)
+			return fmt.Errorf("dashboard: %w", err)
 		}
 		text, err := dashboard.RenderDashboard(stack.Store, stack.DBName(), d)
 		if err != nil {
-			fatalf("render: %v", err)
+			return fmt.Errorf("render: %w", err)
 		}
-		fmt.Println()
-		fmt.Print(text)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, text)
 	}
 
 	if *dump != "" {
 		if err := dumpDB(stack.DB, *dump); err != nil {
-			fatalf("dump: %v", err)
+			return fmt.Errorf("dump: %w", err)
 		}
-		fmt.Printf("lms-sim: wrote %s\n", *dump)
+		fmt.Fprintf(stdout, "lms-sim: wrote %s\n", *dump)
 	}
+	return nil
 }
 
 // dumpDB exports every stored point as line protocol.

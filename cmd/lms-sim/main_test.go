@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"--help"}, &out); err != nil {
+		t.Fatalf("run(--help) = %v, want nil", err)
+	}
+	for _, flag := range []string{"-scenario", "-interval", "-duration", "-shards", "-dump"} {
+		if !strings.Contains(out.String(), flag) {
+			t.Errorf("help output missing %s:\n%s", flag, out.String())
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-scenario", "nope", "-http", ""}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("run(-scenario nope) = %v, want unknown scenario error", err)
+	}
+}
+
+// TestRunShortSimulation drives a real (but short) simulation through the
+// full stack: scheduler, collection agents, batched router ingest, sharded
+// store, and the final stats line.
+func TestRunShortSimulation(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "out.lp")
+	var out strings.Builder
+	err := run([]string{
+		"-scenario", "mixed",
+		"-http", "", // no web viewer in tests
+		"-duration", "180",
+		"-interval", "60",
+		"-shards", "2",
+		"-dump", dump,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "router received") {
+		t.Fatalf("missing stats line in output:\n%s", text)
+	}
+	if strings.Contains(text, "dropped 0 points") == false {
+		t.Errorf("expected no dropped points:\n%s", text)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("dump file is empty")
+	}
+}

@@ -17,39 +17,45 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/stream"
 )
 
-func main() {
-	pubAddr := flag.String("publisher", "127.0.0.1:5571", "router publisher address")
-	snapshot := flag.Duration("snapshot", 30*time.Second, "aggregate snapshot interval (0 = off)")
-	flag.Parse()
+func main() { cli.Main("lms-stream", run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-stream", flag.ContinueOnError)
+	pubAddr := fs.String("publisher", "127.0.0.1:5571", "router publisher address")
+	snapshot := fs.Duration("snapshot", 30*time.Second, "aggregate snapshot interval (0 = off)")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	a := stream.New(stream.Config{
 		OnAlarm: func(al stream.Alarm) {
-			fmt.Printf("ALARM host=%s job=%s %s\n", al.Host, al.JobID, al.Violation.String())
+			fmt.Fprintf(stdout, "ALARM host=%s job=%s %s\n", al.Host, al.JobID, al.Violation.String())
 		},
 		OnJob: func(ev stream.JobEvent) {
 			kind := "end"
 			if ev.Start {
 				kind = "start"
 			}
-			fmt.Printf("JOB %s id=%s user=%s nodes=%s\n",
+			fmt.Fprintf(stdout, "JOB %s id=%s user=%s nodes=%s\n",
 				kind, ev.JobID, ev.User, strings.Join(ev.Nodes, ","))
 		},
 	})
 	if err := a.Attach(*pubAddr); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer a.Close()
-	fmt.Printf("lms-stream: attached to %s\n", *pubAddr)
+	fmt.Fprintf(stdout, "lms-stream: attached to %s\n", *pubAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -59,11 +65,12 @@ func main() {
 		for {
 			select {
 			case <-tick.C:
-				fmt.Print(a.FormatSnapshot())
+				fmt.Fprint(stdout, a.FormatSnapshot())
 			case <-sig:
-				return
+				return nil
 			}
 		}
 	}
 	<-sig
+	return nil
 }

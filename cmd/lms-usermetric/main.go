@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/usermetric"
 )
 
@@ -34,27 +36,31 @@ func (t tagFlags) Set(s string) error {
 	return nil
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+func main() { cli.Main("lms-usermetric", run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-usermetric", flag.ContinueOnError)
+	fs.Usage = func() {
+		// fs.Output() so cli.Parse controls where this lands (stdout for
+		// --help, suppressed on flag errors).
+		fmt.Fprintf(fs.Output(), `usage:
   lms-usermetric [flags] metric <name> <value> [<field>=<value>...]
   lms-usermetric [flags] event <text>
 
 flags:
 `)
-	flag.PrintDefaults()
-	os.Exit(2)
-}
-
-func main() {
-	endpoint := flag.String("endpoint", "http://127.0.0.1:8090", "router or database base URL")
-	dbName := flag.String("db", "lms", "database name")
+		fs.PrintDefaults()
+	}
+	endpoint := fs.String("endpoint", "http://127.0.0.1:8090", "router or database base URL")
+	dbName := fs.String("db", "lms", "database name")
 	tags := tagFlags{}
-	flag.Var(tags, "tag", "default tag key=value (repeatable); include hostname for job tagging")
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
-	if len(args) < 2 {
-		usage()
+	fs.Var(tags, "tag", "default tag key=value (repeatable); include hostname for job tagging")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return cli.UsageErr(fs, "need a metric or event command")
 	}
 
 	if _, ok := tags["hostname"]; !ok {
@@ -69,36 +75,32 @@ func main() {
 		FlushInterval: -1, // single shot
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lms-usermetric:", err)
-		os.Exit(1)
+		return err
 	}
 
-	switch args[0] {
+	switch rest[0] {
 	case "metric":
-		if len(args) < 3 {
-			usage()
+		if len(rest) < 3 {
+			return cli.UsageErr(fs, "metric needs a name and a value")
 		}
-		name := args[1]
-		value, err := strconv.ParseFloat(args[2], 64)
+		name := rest[1]
+		value, err := strconv.ParseFloat(rest[2], 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lms-usermetric: bad value %q: %v\n", args[2], err)
-			os.Exit(1)
+			return fmt.Errorf("bad value %q: %w", rest[2], err)
 		}
 		if err := client.Metric(name, value, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "lms-usermetric:", err)
-			os.Exit(1)
+			return err
 		}
 	case "event":
-		text := strings.Join(args[1:], " ")
+		text := strings.Join(rest[1:], " ")
 		if err := client.Event(text, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "lms-usermetric:", err)
-			os.Exit(1)
+			return err
 		}
 	default:
-		usage()
+		return cli.UsageErr(fs, "unknown command %q", rest[0])
 	}
 	if err := client.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "lms-usermetric: send:", err)
-		os.Exit(1)
+		return fmt.Errorf("send: %w", err)
 	}
+	return nil
 }

@@ -31,6 +31,8 @@ type StackConfig struct {
 	PubSubHWM int
 	// Retention prunes data older than this from the primary DB (0 = keep).
 	Retention time.Duration
+	// TSDBShards is the lock-shard count per database (0 = GOMAXPROCS).
+	TSDBShards int
 	// PeakMemBWMBs / PeakDPMFlops parameterize the pattern decision tree.
 	PeakMemBWMBs float64
 	PeakDPMFlops float64
@@ -58,6 +60,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		cfg.DBName = "lms"
 	}
 	store := tsdb.NewStore()
+	store.ShardsPerDB = cfg.TSDBShards
 	db := store.CreateDatabase(cfg.DBName)
 	if cfg.Retention > 0 {
 		db.SetRetention(cfg.Retention)

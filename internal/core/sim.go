@@ -110,13 +110,9 @@ func NewSimulation(stack *Stack, cfg SimConfig) (*Simulation, error) {
 		}
 		agent, err := collector.New(collector.Config{
 			Hostname: name,
-			Sink: func(payload []byte) error {
-				pts, err := lineproto.Parse(payload)
-				if err != nil {
-					return err
-				}
-				return stack.Router.Ingest(pts)
-			},
+			// The agent's flush delivers one encoded batch; hand it to the
+			// router's batched entry point (same path as HTTP /write).
+			Sink: stack.Router.IngestBatch,
 		})
 		if err != nil {
 			return nil, err
@@ -250,13 +246,7 @@ func (s *Simulation) handleEvent(ev jobsched.Event) error {
 		// the first node so the router attaches the job tags.
 		if _, ok := model.(*workload.MiniMD); ok {
 			c, err := usermetric.New(usermetric.Config{
-				Sink: func(payload []byte) error {
-					pts, err := lineproto.Parse(payload)
-					if err != nil {
-						return err
-					}
-					return s.Stack.Router.Ingest(pts)
-				},
+				Sink:          s.Stack.Router.IngestBatch,
 				DefaultTags:   map[string]string{"hostname": job.Nodes[0], "app": model.Name()},
 				FlushInterval: -1,
 				Now:           func() time.Time { return SimTime(s.now) },

@@ -38,14 +38,22 @@ func (b *Batch) Add(p Point, now time.Time) error {
 		p.Time = now
 	}
 	if len(b.defTag) > 0 {
-		merged := make(map[string]string, len(b.defTag)+len(p.Tags))
-		for k, v := range b.defTag {
-			merged[k] = v
+		if len(p.Tags) == 0 {
+			// Hot path for clients that rely on default tags only
+			// (usermetric.Metric with nil tags): encoding below never
+			// mutates the map, so the defaults can be aliased instead of
+			// copied per point.
+			p.Tags = b.defTag
+		} else {
+			merged := make(map[string]string, len(b.defTag)+len(p.Tags))
+			for k, v := range b.defTag {
+				merged[k] = v
+			}
+			for k, v := range p.Tags {
+				merged[k] = v
+			}
+			p.Tags = merged
 		}
-		for k, v := range p.Tags {
-			merged[k] = v
-		}
-		p.Tags = merged
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()

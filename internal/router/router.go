@@ -15,6 +15,7 @@ package router
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,19 +29,20 @@ import (
 	"repro/internal/tsdb"
 )
 
-// Sink receives forwarded points. Implemented by tsdb-backed local sinks and
-// by the InfluxDB HTTP client, so the router can front either an in-process
-// database or a remote one.
+// Sink receives forwarded point batches. Implemented by tsdb-backed local
+// sinks and by the InfluxDB HTTP client, so the router can front either an
+// in-process database or a remote one.
 type Sink interface {
 	WritePoints(pts []lineproto.Point) error
 }
 
-// LocalSink writes directly into an in-process tsdb database.
+// LocalSink writes directly into an in-process tsdb database through its
+// sharded batch entry point.
 type LocalSink struct{ DB *tsdb.DB }
 
-// WritePoints implements Sink.
+// WritePoints implements Sink by flushing the batch via DB.WriteBatch.
 func (s LocalSink) WritePoints(pts []lineproto.Point) error {
-	return s.DB.WritePoints(pts)
+	return s.DB.WriteBatch(pts)
 }
 
 // Config wires a Router.
@@ -137,22 +139,35 @@ func (r *Router) handleWrite(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	pts, err := lineproto.Parse(body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := r.Ingest(pts); err != nil {
+	if err := r.IngestBatch(body); err != nil {
+		var perr *lineproto.ParseError
+		if errors.As(err, &perr) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// IngestBatch parses a line-protocol payload and runs the router pipeline on
+// it. It is the batched entry point shared by the HTTP /write handler and by
+// in-process producers (collection agents, libusermetric clients) whose
+// flush callback delivers an encoded payload.
+func (r *Router) IngestBatch(payload []byte) error {
+	pts, err := lineproto.Parse(payload)
+	if err != nil {
+		return err
+	}
+	return r.Ingest(pts)
+}
+
 // Ingest runs the router pipeline on a batch of points: timestamping,
-// tag-store enrichment, forwarding, per-user duplication and publishing.
-// It is the in-process entry point used by pulling proxies and tests; the
-// HTTP /write handler delegates here.
+// tag-store enrichment, per-destination batching, forwarding, per-user
+// duplication and publishing. Points are accumulated per destination
+// database and each accumulated batch is flushed with a single sink write,
+// which the local sink hands to the store's sharded DB.WriteBatch.
 func (r *Router) Ingest(pts []lineproto.Point) error {
 	if len(pts) == 0 {
 		return nil
@@ -160,9 +175,11 @@ func (r *Router) Ingest(pts []lineproto.Point) error {
 	r.received.Add(int64(len(pts)))
 	now := r.cfg.Now()
 
-	// Enrich. Points without a hostname tag pass through untagged: the
-	// paper makes hostname the only mandatory tag, and the router's hash
-	// table is keyed by it.
+	// Enrich and accumulate. Points without a hostname tag pass through
+	// untagged: the paper makes hostname the only mandatory tag, and the
+	// router's hash table is keyed by it. The primary batch receives every
+	// point; job points owned by a user are additionally accumulated into
+	// that user's duplication batch.
 	enriched := make([]lineproto.Point, 0, len(pts))
 	perUser := map[string][]lineproto.Point{}
 	for _, p := range pts {

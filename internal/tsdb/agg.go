@@ -3,6 +3,7 @@ package tsdb
 import (
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/lineproto"
 )
@@ -190,4 +191,71 @@ func percentile(nums []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+func rangeNS(start, end time.Time) (int64, int64) {
+	startNS := int64(minInt64)
+	endNS := int64(maxInt64)
+	if !start.IsZero() {
+		startNS = start.UnixNano()
+	}
+	if !end.IsZero() {
+		endNS = end.UnixNano()
+	}
+	return startNS, endNS
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// windowAggregate buckets rows into aligned windows of width every and
+// applies agg per column. Empty windows are skipped (InfluxDB fill(none)).
+func windowAggregate(rows []row, cols []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64) []Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	w := every.Nanoseconds()
+	if w <= 0 {
+		return nil
+	}
+	if startNS == minInt64 {
+		startNS = rows[0].t
+	}
+	// Align the first window to a multiple of the interval, like InfluxDB.
+	first := rows[0].t
+	if first < startNS {
+		first = startNS
+	}
+	align := func(t int64) int64 {
+		if t >= 0 {
+			return t - t%w
+		}
+		return t - (w+t%w)%w
+	}
+	var out []Row
+	i := 0
+	for winStart := align(first); i < len(rows); winStart += w {
+		winEnd := winStart + w
+		j := i
+		for j < len(rows) && rows[j].t < winEnd {
+			j++
+		}
+		if j > i {
+			vals := make([]*lineproto.Value, len(cols))
+			for ci, c := range cols {
+				if v, ok := aggregateColumn(rows[i:j], c, agg, pct); ok {
+					vv := v
+					vals[ci] = &vv
+				}
+			}
+			out = append(out, Row{Time: time.Unix(0, winStart).UTC(), Values: vals})
+			i = j
+		}
+		if winStart > endNS {
+			break
+		}
+	}
+	return out
 }

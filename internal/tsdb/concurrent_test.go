@@ -1,0 +1,299 @@
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lineproto"
+)
+
+// The tests in this file exercise the sharded write path under goroutine
+// fan-out and are meant to run under the race detector (go test -race).
+
+func concPoint(meas, host string, i int) lineproto.Point {
+	return lineproto.Point{
+		Measurement: meas,
+		Tags:        map[string]string{"hostname": host},
+		Fields:      map[string]lineproto.Value{"value": lineproto.Float(float64(i))},
+		Time:        time.Unix(int64(i), 0),
+	}
+}
+
+// TestDBConcurrentWriters checks that parallel writers on distinct and
+// shared measurements lose no points across shards.
+func TestDBConcurrentWriters(t *testing.T) {
+	t.Parallel()
+	const (
+		writers = 8
+		batches = 25
+		perB    = 20
+	)
+	db := NewDBShards("lms", 4)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Even writers share one hot measurement, odd writers get
+			// their own, so both the contended and the spread shard
+			// paths are exercised.
+			meas := "shared"
+			if w%2 == 1 {
+				meas = fmt.Sprintf("meas%02d", w)
+			}
+			host := fmt.Sprintf("host%02d", w)
+			for bi := 0; bi < batches; bi++ {
+				pts := make([]lineproto.Point, perB)
+				for i := range pts {
+					pts[i] = concPoint(meas, host, bi*perB+i)
+				}
+				if err := db.WriteBatch(pts); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := db.PointCount(), writers*batches*perB; got != want {
+		t.Fatalf("PointCount = %d, want %d", got, want)
+	}
+	// Every odd writer's measurement must be visible, plus the shared one.
+	meas := db.Measurements()
+	if want := writers/2 + 1; len(meas) != want {
+		t.Fatalf("Measurements = %v, want %d entries", meas, want)
+	}
+	for _, m := range meas {
+		res, err := db.Select(Query{Measurement: m})
+		if err != nil {
+			t.Fatalf("Select(%s): %v", m, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("Select(%s): no series", m)
+		}
+	}
+}
+
+// TestDBConcurrentWriteReadDrop runs writers, readers and a dropper
+// side by side: the store must stay consistent (no lost updates outside the
+// dropped window, no panics, race-free under -race).
+func TestDBConcurrentWriteReadDrop(t *testing.T) {
+	t.Parallel()
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 50
+	)
+	db := NewDBShards("lms", 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			meas := fmt.Sprintf("cpu%02d", w)
+			for i := 0; i < rounds; i++ {
+				pts := []lineproto.Point{
+					concPoint(meas, "h1", i),
+					concPoint(meas, "h2", i),
+				}
+				if err := db.WriteBatch(pts); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.PointCount()
+				db.Measurements()
+				db.TagValues("", "hostname")
+				meas := fmt.Sprintf("cpu%02d", r%writers)
+				if _, err := db.Select(Query{
+					Measurement: meas,
+					Agg:         AggMean,
+					Every:       10 * time.Second,
+				}); err != nil && err != ErrNoMeasurement {
+					t.Errorf("select: %v", err)
+					return
+				}
+				db.FieldKeys(meas)
+				db.TagKeys(meas)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			// Drops roughly the first half of each writer's window while
+			// writes are still in flight.
+			db.DropBefore(time.Unix(int64(rounds/2), 0))
+		}
+	}()
+
+	// Wait for the writers first, then release the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	// After a final drop the surviving points are exactly the second half
+	// of each series.
+	db.DropBefore(time.Unix(int64(rounds/2), 0))
+	want := writers * 2 * (rounds - rounds/2)
+	if got := db.PointCount(); got != want {
+		t.Fatalf("PointCount after drop = %d, want %d", got, want)
+	}
+}
+
+// TestDBConcurrentRetentionWrites checks the lazy per-shard pruning under
+// concurrent batch writes.
+func TestDBConcurrentRetentionWrites(t *testing.T) {
+	t.Parallel()
+	db := NewDBShards("lms", 2)
+	db.SetRetention(time.Hour)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			meas := fmt.Sprintf("m%d", w)
+			for i := 0; i < 100; i++ {
+				if err := db.WritePoint(concPoint(meas, "h", i)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.PointCount() == 0 {
+		t.Fatal("no points survived retention writes")
+	}
+}
+
+// TestRetentionPrunesIdleShards guards the retention sweep: a write to one
+// shard must expire old data living in *other* shards, not only its own.
+func TestRetentionPrunesIdleShards(t *testing.T) {
+	t.Parallel()
+	db := NewDBShards("lms", 4)
+	db.SetRetention(time.Hour)
+	old := concPoint("oldmeas", "h", 0)
+	old.Time = time.Unix(100, 0)
+	if err := db.WritePoint(old); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a measurement that hashes into a different shard, then write a
+	// point two hours newer there.
+	fresh := "fresh"
+	for i := 0; db.shardIndex(fresh) == db.shardIndex("oldmeas"); i++ {
+		fresh = fmt.Sprintf("fresh%d", i)
+	}
+	db.lastPrune.Store(0) // bypass the once-per-second throttle
+	p := concPoint(fresh, "h", 0)
+	p.Time = time.Unix(100, 0).Add(2 * time.Hour)
+	if err := db.WritePoint(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range db.Measurements() {
+		if m == "oldmeas" {
+			t.Fatalf("expired measurement in an idle shard was not pruned: %v", db.Measurements())
+		}
+	}
+	if got := db.PointCount(); got != 1 {
+		t.Fatalf("PointCount = %d, want 1 (only the fresh point)", got)
+	}
+}
+
+// TestStoreConcurrentCreateDrop hammers the store-level database map.
+func TestStoreConcurrentCreateDrop(t *testing.T) {
+	t.Parallel()
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("db%d", i%5)
+				db := s.CreateDatabase(name)
+				if err := db.WritePoint(concPoint("cpu", "h", i)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				s.DB(name)
+				s.Databases()
+				if w == 0 && i%10 == 9 {
+					s.DropDatabase(name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestWriteBatchOutOfOrder guards the per-series append buffer: a batch
+// whose timestamps interleave and regress must still read back fully
+// sorted.
+func TestWriteBatchOutOfOrder(t *testing.T) {
+	t.Parallel()
+	db := NewDBShards("lms", 4)
+	var pts []lineproto.Point
+	// Two series interleaved, timestamps deliberately regressing.
+	for _, i := range []int{5, 3, 9, 1, 7, 2} {
+		pts = append(pts, concPoint("cpu", "h1", i), concPoint("cpu", "h2", 100-i))
+	}
+	if err := db.WriteBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch older than everything already stored.
+	if err := db.WriteBatch([]lineproto.Point{concPoint("cpu", "h1", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Select(Query{Measurement: "cpu", GroupByTags: []string{"hostname"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("series = %d, want 2", len(res))
+	}
+	for _, s := range res {
+		for i := 1; i < len(s.Rows); i++ {
+			if s.Rows[i].Time.Before(s.Rows[i-1].Time) {
+				t.Fatalf("series %v rows not sorted: %v before %v",
+					s.Tags, s.Rows[i].Time, s.Rows[i-1].Time)
+			}
+		}
+	}
+}
+
+// TestShardDistribution sanity-checks that multiple measurements spread
+// over more than one shard (FNV should not degenerate).
+func TestShardDistribution(t *testing.T) {
+	t.Parallel()
+	db := NewDBShards("lms", 4)
+	if db.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", db.ShardCount())
+	}
+	used := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		used[db.shardIndex(fmt.Sprintf("measurement%02d", i))] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("32 measurements landed in %d shard(s)", len(used))
+	}
+}

@@ -118,7 +118,7 @@ func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if err := db.WritePoints(pts); err != nil {
+	if err := db.WriteBatch(pts); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -14,14 +14,30 @@
 //     GROUP BY tag,
 //   - an InfluxDB-compatible HTTP API (/write, /query, /ping) in http.go and
 //     an InfluxQL subset in influxql.go.
+//
+// # Sharding
+//
+// A DB is partitioned into N independent shards, each guarded by its own
+// lock. Points are routed to a shard by a hash of their measurement name, so
+// a measurement lives wholly inside one shard and all query semantics are
+// unaffected; writers and readers touching different measurements proceed in
+// parallel. N defaults to GOMAXPROCS and is configurable with NewDBShards
+// (or Store.ShardsPerDB for databases created through a Store).
+//
+// The batched entry point is WriteBatch: it validates the whole batch,
+// splits it per shard, and inside each shard groups consecutive points of
+// the same series into an append buffer so the per-point cost is one row
+// append instead of two map lookups and a key build.
 package tsdb
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lineproto"
@@ -36,6 +52,11 @@ var (
 // Store is a collection of named databases, the equivalent of one InfluxDB
 // server instance.
 type Store struct {
+	// ShardsPerDB is the shard count for databases created by
+	// CreateDatabase; 0 selects the default (GOMAXPROCS). Set it before the
+	// store starts serving traffic.
+	ShardsPerDB int
+
 	mu  sync.RWMutex
 	dbs map[string]*DB
 }
@@ -52,7 +73,7 @@ func (s *Store) CreateDatabase(name string) *DB {
 	if db, ok := s.dbs[name]; ok {
 		return db
 	}
-	db := NewDB(name)
+	db := NewDBShards(name, s.ShardsPerDB)
 	s.dbs[name] = db
 	return db
 }
@@ -83,31 +104,79 @@ func (s *Store) Databases() []string {
 	return names
 }
 
-// DB is one named time-series database.
+// DB is one named time-series database, partitioned into measurement-hashed
+// shards (see the package comment).
 type DB struct {
-	name string
-
-	mu           sync.RWMutex
-	measurements map[string]*measurement
-	retention    time.Duration // 0 = keep forever
-	lastPrune    time.Time
+	name      string
+	shards    []*shard
+	retention atomic.Int64 // nanoseconds; 0 = keep forever
+	newest    atomic.Int64 // unix ns of the newest point ever written
+	lastPrune atomic.Int64 // wall-clock unix ns of the last retention sweep
 }
 
-// NewDB returns an empty database.
-func NewDB(name string) *DB {
-	return &DB{name: name, measurements: make(map[string]*measurement)}
+// shard is one lock domain of a DB. A measurement is wholly contained in
+// one shard.
+type shard struct {
+	mu           sync.RWMutex
+	measurements map[string]*measurement
+	scratch      []row // reusable append buffer, guarded by mu
+}
+
+// DefaultShards is the shard count used when none is configured: one lock
+// domain per schedulable CPU.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// NewDB returns an empty database with the default shard count.
+func NewDB(name string) *DB { return NewDBShards(name, 0) }
+
+// NewDBShards returns an empty database with n shards. n <= 0 selects
+// DefaultShards.
+func NewDBShards(name string, n int) *DB {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	db := &DB{name: name, shards: make([]*shard, n)}
+	for i := range db.shards {
+		db.shards[i] = &shard{measurements: make(map[string]*measurement)}
+	}
+	return db
 }
 
 // Name returns the database name.
 func (db *DB) Name() string { return db.name }
 
+// ShardCount returns the number of lock domains.
+func (db *DB) ShardCount() int { return len(db.shards) }
+
+// shardFor routes a measurement name to its shard.
+func (db *DB) shardFor(measurement string) *shard {
+	return db.shards[db.shardIndex(measurement)]
+}
+
+// FNV-1a parameters (inlined so the hot write path hashes the measurement
+// name without the []byte conversion and hasher allocation of hash/fnv).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func (db *DB) shardIndex(measurement string) int {
+	if len(db.shards) == 1 {
+		return 0
+	}
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(measurement); i++ {
+		h ^= uint32(measurement[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(len(db.shards)))
+}
+
 // SetRetention configures the retention window. Points older than d relative
 // to the newest inserted point are pruned lazily during writes. Zero disables
 // pruning.
 func (db *DB) SetRetention(d time.Duration) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.retention = d
+	db.retention.Store(int64(d))
 }
 
 type measurement struct {
@@ -152,76 +221,184 @@ func seriesKey(tags map[string]string) string {
 // WritePoint inserts one point. Points without a timestamp get the current
 // time, mirroring InfluxDB's server-side timestamping.
 func (db *DB) WritePoint(p lineproto.Point) error {
-	if err := p.Validate(); err != nil {
-		return err
-	}
-	if p.Time.IsZero() {
-		p.Time = time.Now()
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.writeLocked(p)
-	return nil
+	return db.WriteBatch([]lineproto.Point{p})
 }
 
-// WritePoints inserts a batch of points under a single lock acquisition.
+// WritePoints inserts a batch of points. It is an alias of WriteBatch, kept
+// for callers predating the sharded write path.
 func (db *DB) WritePoints(pts []lineproto.Point) error {
-	now := time.Now()
+	return db.WriteBatch(pts)
+}
+
+// WriteBatch is the batched ingest entry point: the whole batch is
+// validated, split per shard, and written with one lock acquisition per
+// touched shard. Points without a timestamp share one server-side
+// timestamp, mirroring InfluxDB.
+func (db *DB) WriteBatch(pts []lineproto.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
 	for i := range pts {
 		if err := pts[i].Validate(); err != nil {
 			return fmt.Errorf("point %d: %w", i, err)
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for _, p := range pts {
-		if p.Time.IsZero() {
-			p.Time = now
+	now := time.Now()
+	defer db.maybePrune()
+	if len(db.shards) == 1 {
+		db.shards[0].writeBatch(db, pts, now)
+		return nil
+	}
+
+	// Batches are usually runs of one measurement (one agent flush), so
+	// first scan for the single-shard case before paying for bucketing.
+	runMeas := pts[0].Measurement
+	runIdx := db.shardIndex(runMeas)
+	firstIdx := runIdx
+	single := true
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Measurement == runMeas {
+			continue
 		}
-		db.writeLocked(p)
+		runMeas = pts[i].Measurement
+		runIdx = db.shardIndex(runMeas)
+		if runIdx != firstIdx {
+			single = false
+			break
+		}
+	}
+	if single {
+		db.shards[firstIdx].writeBatch(db, pts, now)
+		return nil
+	}
+
+	buckets := make([][]lineproto.Point, len(db.shards))
+	runMeas, runIdx = pts[0].Measurement, firstIdx
+	for _, p := range pts {
+		if p.Measurement != runMeas {
+			runMeas = p.Measurement
+			runIdx = db.shardIndex(runMeas)
+		}
+		buckets[runIdx] = append(buckets[runIdx], p)
+	}
+	for idx, bucket := range buckets {
+		if len(bucket) > 0 {
+			db.shards[idx].writeBatch(db, bucket, now)
+		}
 	}
 	return nil
 }
 
-func (db *DB) writeLocked(p lineproto.Point) {
-	m, ok := db.measurements[p.Measurement]
-	if !ok {
-		m = &measurement{
-			name:   p.Measurement,
-			series: make(map[string]*series),
-			fields: make(map[string]lineproto.ValueKind),
-		}
-		db.measurements[p.Measurement] = m
-	}
-	key := seriesKey(p.Tags)
-	sr, ok := m.series[key]
-	if !ok {
-		tags := make(map[string]string, len(p.Tags))
-		for k, v := range p.Tags {
-			tags[k] = v
-		}
-		sr = &series{tags: tags, sorted: true}
-		m.series[key] = sr
-	}
-	fields := make(map[string]lineproto.Value, len(p.Fields))
-	for k, v := range p.Fields {
-		fields[k] = v
-		m.fields[k] = v.Kind()
-	}
-	ns := p.Time.UnixNano()
-	if n := len(sr.points); n > 0 && sr.points[n-1].t > ns {
-		sr.sorted = false
-	}
-	sr.points = append(sr.points, row{t: ns, fields: fields})
+// writeBatch inserts pre-validated points under one lock acquisition.
+// Consecutive points of the same series are collected in an append buffer
+// and committed with a single bulk append.
+func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	if db.retention > 0 && time.Since(db.lastPrune) > time.Second {
-		db.lastPrune = time.Now()
-		db.pruneLocked(p.Time.Add(-db.retention).UnixNano())
+	var (
+		curM    *measurement
+		curName string
+		curS    *series
+		curKey  string
+	)
+	pending := sh.scratch[:0]
+	commit := func() {
+		if curS == nil || len(pending) == 0 {
+			return
+		}
+		if n := len(curS.points); n > 0 && curS.points[n-1].t > pending[0].t {
+			curS.sorted = false
+		}
+		curS.points = append(curS.points, pending...)
+		pending = pending[:0]
+	}
+
+	newest := int64(minInt64)
+	for _, p := range pts {
+		if p.Time.IsZero() {
+			p.Time = now
+		}
+		if curM == nil || p.Measurement != curName {
+			commit()
+			curS = nil
+			curName = p.Measurement
+			m, ok := sh.measurements[curName]
+			if !ok {
+				m = &measurement{
+					name:   curName,
+					series: make(map[string]*series),
+					fields: make(map[string]lineproto.ValueKind),
+				}
+				sh.measurements[curName] = m
+			}
+			curM = m
+		}
+		key := seriesKey(p.Tags)
+		if curS == nil || key != curKey {
+			commit()
+			curKey = key
+			sr, ok := curM.series[key]
+			if !ok {
+				tags := make(map[string]string, len(p.Tags))
+				for k, v := range p.Tags {
+					tags[k] = v
+				}
+				sr = &series{tags: tags, sorted: true}
+				curM.series[key] = sr
+			}
+			curS = sr
+		}
+		fields := make(map[string]lineproto.Value, len(p.Fields))
+		for k, v := range p.Fields {
+			fields[k] = v
+			curM.fields[k] = v.Kind()
+		}
+		ns := p.Time.UnixNano()
+		if n := len(pending); n > 0 && pending[n-1].t > ns {
+			curS.sorted = false
+		}
+		pending = append(pending, row{t: ns, fields: fields})
+		if ns > newest {
+			newest = ns
+		}
+	}
+	commit()
+	sh.scratch = pending[:0]
+
+	// Publish the newest timestamp for retention sweeps (atomic max).
+	for {
+		cur := db.newest.Load()
+		if newest <= cur || db.newest.CompareAndSwap(cur, newest) {
+			break
+		}
 	}
 }
 
-func (db *DB) pruneLocked(beforeNS int64) {
-	for mname, m := range db.measurements {
+// maybePrune runs a retention sweep over every shard, at most once per
+// second, with the cutoff anchored at the newest inserted point. It is
+// called after batch writes, outside any shard lock, so the sweep can take
+// each shard lock in turn without nesting.
+func (db *DB) maybePrune() {
+	ret := db.retention.Load()
+	if ret <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := db.lastPrune.Load()
+	if now-last < int64(time.Second) || !db.lastPrune.CompareAndSwap(last, now) {
+		return
+	}
+	cutoff := db.newest.Load() - ret
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		sh.pruneLocked(cutoff)
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *shard) pruneLocked(beforeNS int64) {
+	for mname, m := range sh.measurements {
 		for key, sr := range m.series {
 			sr.ensureSorted()
 			idx := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t >= beforeNS })
@@ -233,16 +410,19 @@ func (db *DB) pruneLocked(beforeNS int64) {
 			}
 		}
 		if len(m.series) == 0 {
-			delete(db.measurements, mname)
+			delete(sh.measurements, mname)
 		}
 	}
 }
 
 // DropBefore removes all points older than t from every series.
 func (db *DB) DropBefore(t time.Time) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.pruneLocked(t.UnixNano())
+	ns := t.UnixNano()
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		sh.pruneLocked(ns)
+		sh.mu.Unlock()
+	}
 }
 
 func (sr *series) ensureSorted() {
@@ -253,13 +433,16 @@ func (sr *series) ensureSorted() {
 	sr.sorted = true
 }
 
-// Measurements lists measurement names in sorted order.
+// Measurements lists measurement names in sorted order, merged across
+// shards.
 func (db *DB) Measurements() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.measurements))
-	for n := range db.measurements {
-		names = append(names, n)
+	var names []string
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for n := range sh.measurements {
+			names = append(names, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
@@ -267,9 +450,10 @@ func (db *DB) Measurements() []string {
 
 // FieldKeys lists the field keys seen for a measurement, sorted.
 func (db *DB) FieldKeys(measurement string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	m, ok := db.measurements[measurement]
+	sh := db.shardFor(measurement)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m, ok := sh.measurements[measurement]
 	if !ok {
 		return nil
 	}
@@ -283,9 +467,10 @@ func (db *DB) FieldKeys(measurement string) []string {
 
 // TagKeys lists tag keys across all series of a measurement, sorted.
 func (db *DB) TagKeys(measurement string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	m, ok := db.measurements[measurement]
+	sh := db.shardFor(measurement)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m, ok := sh.measurements[measurement]
 	if !ok {
 		return nil
 	}
@@ -304,11 +489,9 @@ func (db *DB) TagKeys(measurement string) []string {
 }
 
 // TagValues lists the distinct values of one tag key over a measurement.
-// With measurement == "" it scans all measurements (used by the dashboard
-// agent to discover the hosts participating in a job).
+// With measurement == "" it scans all measurements across all shards (used
+// by the dashboard agent to discover the hosts participating in a job).
 func (db *DB) TagValues(meas, key string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	set := map[string]struct{}{}
 	collect := func(m *measurement) {
 		for _, sr := range m.series {
@@ -318,11 +501,20 @@ func (db *DB) TagValues(meas, key string) []string {
 		}
 	}
 	if meas == "" {
-		for _, m := range db.measurements {
+		for _, sh := range db.shards {
+			sh.mu.RLock()
+			for _, m := range sh.measurements {
+				collect(m)
+			}
+			sh.mu.RUnlock()
+		}
+	} else {
+		sh := db.shardFor(meas)
+		sh.mu.RLock()
+		if m, ok := sh.measurements[meas]; ok {
 			collect(m)
 		}
-	} else if m, ok := db.measurements[meas]; ok {
-		collect(m)
+		sh.mu.RUnlock()
 	}
 	vals := make([]string, 0, len(set))
 	for v := range set {
@@ -332,15 +524,18 @@ func (db *DB) TagValues(meas, key string) []string {
 	return vals
 }
 
-// PointCount returns the total number of stored points (all measurements).
+// PointCount returns the total number of stored points (all measurements,
+// all shards).
 func (db *DB) PointCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, m := range db.measurements {
-		for _, sr := range m.series {
-			n += len(sr.points)
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, m := range sh.measurements {
+			for _, sr := range m.series {
+				n += len(sr.points)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -394,11 +589,14 @@ type Series struct {
 	Rows    []Row
 }
 
-// Select executes a query against the database.
+// Select executes a query against the database. A measurement lives wholly
+// inside one shard, so only that shard is locked; queries on other
+// measurements proceed concurrently.
 func (db *DB) Select(q Query) ([]Series, error) {
-	db.mu.Lock() // full lock: ensureSorted may reorder points
-	defer db.mu.Unlock()
-	m, ok := db.measurements[q.Measurement]
+	sh := db.shardFor(q.Measurement)
+	sh.mu.Lock() // full lock: ensureSorted may reorder points
+	defer sh.mu.Unlock()
+	m, ok := sh.measurements[q.Measurement]
 	if !ok {
 		return nil, ErrNoMeasurement
 	}
@@ -487,71 +685,4 @@ func (db *DB) Select(q Query) ([]Series, error) {
 		out = append(out, res)
 	}
 	return out, nil
-}
-
-func rangeNS(start, end time.Time) (int64, int64) {
-	startNS := int64(minInt64)
-	endNS := int64(maxInt64)
-	if !start.IsZero() {
-		startNS = start.UnixNano()
-	}
-	if !end.IsZero() {
-		endNS = end.UnixNano()
-	}
-	return startNS, endNS
-}
-
-const (
-	minInt64 = -1 << 63
-	maxInt64 = 1<<63 - 1
-)
-
-// windowAggregate buckets rows into aligned windows of width every and
-// applies agg per column. Empty windows are skipped (InfluxDB fill(none)).
-func windowAggregate(rows []row, cols []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64) []Row {
-	if len(rows) == 0 {
-		return nil
-	}
-	w := every.Nanoseconds()
-	if w <= 0 {
-		return nil
-	}
-	if startNS == minInt64 {
-		startNS = rows[0].t
-	}
-	// Align the first window to a multiple of the interval, like InfluxDB.
-	first := rows[0].t
-	if first < startNS {
-		first = startNS
-	}
-	align := func(t int64) int64 {
-		if t >= 0 {
-			return t - t%w
-		}
-		return t - (w+t%w)%w
-	}
-	var out []Row
-	i := 0
-	for winStart := align(first); i < len(rows); winStart += w {
-		winEnd := winStart + w
-		j := i
-		for j < len(rows) && rows[j].t < winEnd {
-			j++
-		}
-		if j > i {
-			vals := make([]*lineproto.Value, len(cols))
-			for ci, c := range cols {
-				if v, ok := aggregateColumn(rows[i:j], c, agg, pct); ok {
-					vv := v
-					vals[ci] = &vv
-				}
-			}
-			out = append(out, Row{Time: time.Unix(0, winStart).UTC(), Values: vals})
-			i = j
-		}
-		if winStart > endNS {
-			break
-		}
-	}
-	return out
 }

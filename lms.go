@@ -30,6 +30,19 @@
 // wired together by internal/core. This package re-exports the composition
 // entry points; see the examples/ directory for runnable scenarios and
 // DESIGN.md for the substitution map (real hardware -> simulation).
+//
+// # Ingest scaling
+//
+// The write path is batch-oriented end to end. Every tsdb database is
+// partitioned into measurement-hashed shards with per-shard locks
+// (default: GOMAXPROCS shards; see tsdb.NewDBShards, tsdb.Store.ShardsPerDB
+// and StackConfig.TSDBShards), so concurrent agents writing different
+// measurements never serialize behind a single database mutex. Producers
+// accumulate points into line-protocol batches (lineproto.Batch), the
+// router enriches a batch and flushes it per destination database in one
+// write, and tsdb.DB.WriteBatch commits each batch with one lock
+// acquisition per touched shard. README.md describes the sharded store and
+// the shard-count knob in more detail.
 package lms
 
 import (
