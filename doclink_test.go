@@ -1,0 +1,75 @@
+package lms
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdRefPattern matches documentation references like DESIGN.md or
+// EXPERIMENTS.md in Go sources and markdown. Doc files in this repo are
+// upper-case by convention, which keeps the pattern from tripping over
+// identifiers.
+var mdRefPattern = regexp.MustCompile(`\b([A-Z][A-Za-z0-9_-]*\.md)\b`)
+
+// TestDocLinks fails when a *.md file referenced from Go comments or
+// markdown does not exist in the repository, so documentation pointers
+// (DESIGN.md, EXPERIMENTS.md, ...) cannot silently rot. Run by CI as the
+// doc-link check step.
+func TestDocLinks(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string][]string{} // referenced name -> referencing files
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		ext := filepath.Ext(path)
+		if ext != ".go" && ext != ".md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, m := range mdRefPattern.FindAllStringSubmatch(string(data), -1) {
+			refs[m[1]] = append(refs[m[1]], rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("no markdown references found; the scanner is broken")
+	}
+	for name, from := range refs {
+		if _, err := os.Stat(filepath.Join(root, name)); err != nil {
+			t.Errorf("%s is referenced by %s but does not exist at the repo root",
+				name, strings.Join(dedupe(from), ", "))
+		}
+	}
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -33,6 +33,9 @@ type StackConfig struct {
 	Retention time.Duration
 	// TSDBShards is the lock-shard count per database (0 = GOMAXPROCS).
 	TSDBShards int
+	// QueryWorkers bounds the per-Select aggregation fan-out of the read
+	// path (0 = GOMAXPROCS, 1 = serial engine).
+	QueryWorkers int
 	// PeakMemBWMBs / PeakDPMFlops parameterize the pattern decision tree.
 	PeakMemBWMBs float64
 	PeakDPMFlops float64
@@ -61,6 +64,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	}
 	store := tsdb.NewStore()
 	store.ShardsPerDB = cfg.TSDBShards
+	store.QueryWorkersPerDB = cfg.QueryWorkers
 	db := store.CreateDatabase(cfg.DBName)
 	if cfg.Retention > 0 {
 		db.SetRetention(cfg.Retention)

@@ -63,6 +63,14 @@ func (v *Viewer) now() time.Time {
 	return time.Now()
 }
 
+// queryEnd is the end-of-range timestamp used for the panels of a still
+// running job. It is rounded down to the second so that repeated refreshes
+// of the same panel within the tsdb's query-cache TTL normalize to the
+// same query and are served from the cache instead of re-aggregating.
+func (v *Viewer) queryEnd() time.Time {
+	return v.now().Truncate(time.Second)
+}
+
 func jobMeta(j *router.Job) analysis.JobMeta {
 	return analysis.JobMeta{
 		ID:    j.ID,
@@ -88,7 +96,7 @@ func (v *Viewer) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		b.WriteString("no running jobs\n")
 	}
 	for _, j := range jobs {
-		end := v.now()
+		end := v.queryEnd()
 		q := fmt.Sprintf(
 			"SELECT mean(dp_mflop_s) FROM likwid_mem_dp WHERE jobid = '%s' AND time >= %d AND time <= %d GROUP BY time(60s)",
 			j.ID, j.Start.UnixNano(), end.UnixNano())
@@ -119,7 +127,7 @@ func (v *Viewer) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	meta := jobMeta(job)
 	if meta.End.IsZero() {
-		meta.End = v.now()
+		meta.End = v.queryEnd()
 	}
 	d, err := v.Agent.GenerateJobDashboard(meta)
 	if err != nil {
@@ -147,7 +155,7 @@ func (v *Viewer) handleDashboardJSON(w http.ResponseWriter, r *http.Request) {
 	}
 	meta := jobMeta(job)
 	if meta.End.IsZero() {
-		meta.End = v.now()
+		meta.End = v.queryEnd()
 	}
 	d, err := v.Agent.GenerateJobDashboard(meta)
 	if err != nil {

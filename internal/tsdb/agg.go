@@ -39,141 +39,26 @@ func ValidAgg(name string) bool {
 	return false
 }
 
-// aggregateColumn applies agg to the named column of the given rows.
-// Rows lacking the column are skipped. String columns support only
-// count/first/last. The bool result is false when no value was produced.
-func aggregateColumn(rows []row, col string, agg AggFunc, pct float64) (lineproto.Value, bool) {
-	switch agg {
-	case AggCount:
-		n := int64(0)
-		for _, r := range rows {
-			if _, ok := r.fields[col]; ok {
-				n++
-			}
-		}
-		if n == 0 {
-			return lineproto.Value{}, false
-		}
-		return lineproto.Int(n), true
-	case AggFirst:
-		for _, r := range rows {
-			if v, ok := r.fields[col]; ok {
-				return v, true
-			}
-		}
-		return lineproto.Value{}, false
-	case AggLast:
-		for i := len(rows) - 1; i >= 0; i-- {
-			if v, ok := rows[i].fields[col]; ok {
-				return v, true
-			}
-		}
-		return lineproto.Value{}, false
-	case AggDerivative:
-		// Per-second rate between first and last sample, matching the
-		// InfluxDB derivative(..., 1s) the dashboards use for counters.
-		var firstT, lastT int64
-		var firstV, lastV float64
-		n := 0
-		for _, r := range rows {
-			v, ok := r.fields[col]
-			if !ok || v.Kind() == lineproto.KindString {
-				continue
-			}
-			if n == 0 {
-				firstT, firstV = r.t, v.FloatVal()
-			}
-			lastT, lastV = r.t, v.FloatVal()
-			n++
-		}
-		if n < 2 || lastT == firstT {
-			return lineproto.Value{}, false
-		}
-		dt := float64(lastT-firstT) / 1e9
-		return lineproto.Float((lastV - firstV) / dt), true
-	}
-
-	// Numeric aggregators.
-	nums := make([]float64, 0, len(rows))
-	for _, r := range rows {
-		v, ok := r.fields[col]
-		if !ok || v.Kind() == lineproto.KindString {
-			continue
-		}
-		nums = append(nums, v.FloatVal())
-	}
-	if len(nums) == 0 {
-		return lineproto.Value{}, false
-	}
-	switch agg {
-	case AggSum:
-		return lineproto.Float(sum(nums)), true
-	case AggMean:
-		return lineproto.Float(sum(nums) / float64(len(nums))), true
-	case AggMin:
-		m := nums[0]
-		for _, v := range nums[1:] {
-			if v < m {
-				m = v
-			}
-		}
-		return lineproto.Float(m), true
-	case AggMax:
-		m := nums[0]
-		for _, v := range nums[1:] {
-			if v > m {
-				m = v
-			}
-		}
-		return lineproto.Float(m), true
-	case AggSpread:
-		lo, hi := nums[0], nums[0]
-		for _, v := range nums[1:] {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		return lineproto.Float(hi - lo), true
-	case AggStddev:
-		if len(nums) < 2 {
-			return lineproto.Float(0), true
-		}
-		mean := sum(nums) / float64(len(nums))
-		var ss float64
-		for _, v := range nums {
-			d := v - mean
-			ss += d * d
-		}
-		return lineproto.Float(math.Sqrt(ss / float64(len(nums)-1))), true
-	case AggMedian:
-		return lineproto.Float(percentile(nums, 50)), true
-	case AggPercentile:
-		return lineproto.Float(percentile(nums, pct)), true
-	default:
-		return lineproto.Value{}, false
-	}
-}
-
 func sum(nums []float64) float64 {
 	// Kahan summation keeps long-window aggregates stable.
 	var s, c float64
 	for _, v := range nums {
-		y := v - c
-		t := s + y
-		c = (t - s) - y
-		s = t
+		s, c = kahanStep(s, c, v)
 	}
 	return s
 }
 
-// percentile returns the p-th percentile (0..100) using linear interpolation
-// between closest ranks. The input slice is not modified.
-func percentile(nums []float64, p float64) float64 {
-	s := append([]float64(nil), nums...)
-	sort.Float64s(s)
+// kahanStep adds v to the compensated accumulator (s, c).
+func kahanStep(s, c, v float64) (float64, float64) {
+	y := v - c
+	t := s + y
+	c = (t - s) - y
+	return t, c
+}
+
+// percentileSorted returns the p-th percentile (0..100) over an
+// already-sorted slice, using linear interpolation between closest ranks.
+func percentileSorted(s []float64, p float64) float64 {
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -210,52 +95,262 @@ const (
 	maxInt64 = 1<<63 - 1
 )
 
-// windowAggregate buckets rows into aligned windows of width every and
-// applies agg per column. Empty windows are skipped (InfluxDB fill(none)).
-func windowAggregate(rows []row, cols []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64) []Row {
-	if len(rows) == 0 {
-		return nil
+// --- mergeable partial aggregates --------------------------------------
+//
+// The lock-light read path (select.go) pushes aggregation down to the
+// per-series point runs: each run folds into a partial, and partials merge
+// in a fixed order. count/sum/min/max/mean (and spread, first/last,
+// derivative) merge exactly from O(1) state; stddev/median/percentile
+// retain their values as sorted runs and merge those. Because the merge
+// order is data-determined, the result is independent of how many workers
+// computed the partials.
+
+// partialMode selects the state a partial has to carry for its aggregator.
+type partialMode int
+
+const (
+	modeCount partialMode = iota
+	modeFirstLast
+	modeDerivative
+	modeSum    // sum, mean
+	modeMinMax // min, max, spread
+	modeVals   // stddev, median, percentile
+)
+
+func modeOf(agg AggFunc) partialMode {
+	switch agg {
+	case AggCount:
+		return modeCount
+	case AggFirst, AggLast:
+		return modeFirstLast
+	case AggDerivative:
+		return modeDerivative
+	case AggSum, AggMean:
+		return modeSum
+	case AggMin, AggMax, AggSpread:
+		return modeMinMax
+	default: // AggStddev, AggMedian, AggPercentile
+		return modeVals
 	}
-	w := every.Nanoseconds()
-	if w <= 0 {
-		return nil
+}
+
+// partial is the mergeable state of one aggregator over one point run.
+type partial struct {
+	agg  AggFunc
+	pct  float64
+	mode partialMode
+
+	n         int64 // observations (modeCount: any kind, otherwise numeric)
+	sum, comp float64
+	min, max  float64
+	hasNum    bool
+
+	hasAny          bool
+	firstT, lastT   int64
+	firstV, lastV   lineproto.Value
+	dFirstT, dLastT int64
+	dFirst, dLast   float64
+
+	vals []float64 // time-ordered while observing, sorted by finalize
+}
+
+func newPartial(agg AggFunc, pct float64) *partial {
+	return &partial{agg: agg, pct: pct, mode: modeOf(agg)}
+}
+
+// observe folds one value in. t must be non-decreasing within a run.
+func (p *partial) observe(t int64, v lineproto.Value) {
+	if p.mode == modeCount {
+		p.n++
+		return
 	}
-	if startNS == minInt64 {
-		startNS = rows[0].t
-	}
-	// Align the first window to a multiple of the interval, like InfluxDB.
-	first := rows[0].t
-	if first < startNS {
-		first = startNS
-	}
-	align := func(t int64) int64 {
-		if t >= 0 {
-			return t - t%w
+	if p.mode == modeFirstLast {
+		if !p.hasAny || t < p.firstT {
+			p.firstT, p.firstV = t, v
 		}
-		return t - (w+t%w)%w
-	}
-	var out []Row
-	i := 0
-	for winStart := align(first); i < len(rows); winStart += w {
-		winEnd := winStart + w
-		j := i
-		for j < len(rows) && rows[j].t < winEnd {
-			j++
+		if !p.hasAny || t >= p.lastT {
+			p.lastT, p.lastV = t, v
 		}
-		if j > i {
-			vals := make([]*lineproto.Value, len(cols))
-			for ci, c := range cols {
-				if v, ok := aggregateColumn(rows[i:j], c, agg, pct); ok {
-					vv := v
-					vals[ci] = &vv
-				}
+		p.hasAny = true
+		return
+	}
+	if v.Kind() == lineproto.KindString {
+		return
+	}
+	f := v.FloatVal()
+	switch p.mode {
+	case modeDerivative:
+		if !p.hasNum {
+			p.dFirstT, p.dFirst = t, f
+		}
+		p.dLastT, p.dLast = t, f
+		p.n++
+		p.hasNum = true
+	case modeSum:
+		p.sum, p.comp = kahanStep(p.sum, p.comp, f)
+		p.n++
+		p.hasNum = true
+	case modeMinMax:
+		if !p.hasNum || f < p.min {
+			p.min = f
+		}
+		if !p.hasNum || f > p.max {
+			p.max = f
+		}
+		p.hasNum = true
+	case modeVals:
+		p.vals = append(p.vals, f)
+	}
+}
+
+// finalize prepares a run partial for merging (sorts the value run).
+func (p *partial) finalize() {
+	if p.mode == modeVals {
+		sort.Float64s(p.vals)
+	}
+}
+
+// merge folds a finalized partial o into p. On timestamp ties the earlier
+// merge position wins "first" and the later one wins "last", matching the
+// stable time-merge of the serial reference.
+func (p *partial) merge(o *partial) {
+	switch p.mode {
+	case modeCount:
+		p.n += o.n
+	case modeFirstLast:
+		if !o.hasAny {
+			return
+		}
+		if !p.hasAny {
+			*p = *o
+			return
+		}
+		if o.firstT < p.firstT {
+			p.firstT, p.firstV = o.firstT, o.firstV
+		}
+		if o.lastT >= p.lastT {
+			p.lastT, p.lastV = o.lastT, o.lastV
+		}
+	case modeDerivative:
+		if !o.hasNum {
+			return
+		}
+		if !p.hasNum {
+			*p = *o
+			return
+		}
+		if o.dFirstT < p.dFirstT {
+			p.dFirstT, p.dFirst = o.dFirstT, o.dFirst
+		}
+		if o.dLastT >= p.dLastT {
+			p.dLastT, p.dLast = o.dLastT, o.dLast
+		}
+		p.n += o.n
+	case modeSum:
+		if !o.hasNum {
+			return
+		}
+		p.sum, p.comp = kahanStep(p.sum, p.comp, o.sum)
+		p.sum, p.comp = kahanStep(p.sum, p.comp, -o.comp)
+		p.n += o.n
+		p.hasNum = true
+	case modeMinMax:
+		if !o.hasNum {
+			return
+		}
+		if !p.hasNum || o.min < p.min {
+			p.min = o.min
+		}
+		if !p.hasNum || o.max > p.max {
+			p.max = o.max
+		}
+		p.hasNum = true
+	case modeVals:
+		if len(o.vals) == 0 {
+			return
+		}
+		if len(p.vals) == 0 {
+			p.vals = o.vals
+			return
+		}
+		merged := make([]float64, 0, len(p.vals)+len(o.vals))
+		i, j := 0, 0
+		for i < len(p.vals) && j < len(o.vals) {
+			if p.vals[i] <= o.vals[j] {
+				merged = append(merged, p.vals[i])
+				i++
+			} else {
+				merged = append(merged, o.vals[j])
+				j++
 			}
-			out = append(out, Row{Time: time.Unix(0, winStart).UTC(), Values: vals})
-			i = j
 		}
-		if winStart > endNS {
-			break
+		merged = append(merged, p.vals[i:]...)
+		p.vals = append(merged, o.vals[j:]...)
+	}
+}
+
+// result produces the final aggregate value; false when no value applies.
+func (p *partial) result() (lineproto.Value, bool) {
+	switch p.mode {
+	case modeCount:
+		if p.n == 0 {
+			return lineproto.Value{}, false
+		}
+		return lineproto.Int(p.n), true
+	case modeFirstLast:
+		if !p.hasAny {
+			return lineproto.Value{}, false
+		}
+		if p.agg == AggFirst {
+			return p.firstV, true
+		}
+		return p.lastV, true
+	case modeDerivative:
+		if p.n < 2 || p.dLastT == p.dFirstT {
+			return lineproto.Value{}, false
+		}
+		dt := float64(p.dLastT-p.dFirstT) / 1e9
+		return lineproto.Float((p.dLast - p.dFirst) / dt), true
+	case modeSum:
+		if !p.hasNum {
+			return lineproto.Value{}, false
+		}
+		if p.agg == AggSum {
+			return lineproto.Float(p.sum), true
+		}
+		return lineproto.Float(p.sum / float64(p.n)), true
+	case modeMinMax:
+		if !p.hasNum {
+			return lineproto.Value{}, false
+		}
+		switch p.agg {
+		case AggMin:
+			return lineproto.Float(p.min), true
+		case AggMax:
+			return lineproto.Float(p.max), true
+		default:
+			return lineproto.Float(p.max - p.min), true
+		}
+	default: // modeVals
+		if len(p.vals) == 0 {
+			return lineproto.Value{}, false
+		}
+		switch p.agg {
+		case AggStddev:
+			if len(p.vals) < 2 {
+				return lineproto.Float(0), true
+			}
+			mean := sum(p.vals) / float64(len(p.vals))
+			var ss float64
+			for _, v := range p.vals {
+				d := v - mean
+				ss += d * d
+			}
+			return lineproto.Float(math.Sqrt(ss / float64(len(p.vals)-1))), true
+		case AggMedian:
+			return lineproto.Float(percentileSorted(p.vals, 50)), true
+		default: // AggPercentile
+			return lineproto.Float(percentileSorted(p.vals, p.pct)), true
 		}
 	}
-	return out
 }

@@ -219,6 +219,107 @@ func TestRetentionPrunesIdleShards(t *testing.T) {
 	}
 }
 
+// TestDBConcurrentSelectVsWriteBatchOneShard drives the lock-light read
+// path head-on against the write path inside a single lock domain: one
+// shard, every query and every batch on the same measurements, raw /
+// windowed / total / percentile query shapes, in-order and out-of-order
+// batches (the copy-on-reorder path). Must be race-clean and the final
+// state consistent.
+func TestDBConcurrentSelectVsWriteBatchOneShard(t *testing.T) {
+	t.Parallel()
+	const (
+		writers = 4
+		readers = 4
+		batches = 40
+		perB    = 25
+	)
+	db := NewDBShards("lms", 1)
+	db.SetQueryCacheTTL(0) // exercise the engine, not the cache
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			meas := fmt.Sprintf("cpu%02d", w%2) // two measurements, one shard
+			host := fmt.Sprintf("h%d", w)
+			for bi := 0; bi < batches; bi++ {
+				pts := make([]lineproto.Point, perB)
+				for i := range pts {
+					n := bi*perB + i
+					if bi%3 == 2 {
+						// Every third batch arrives in reverse order to
+						// force the merge-into-fresh-array write path under
+						// concurrent snapshots.
+						n = bi*perB + (perB - 1 - i)
+					}
+					pts[i] = concPoint(meas, host, n)
+				}
+				if err := db.WriteBatch(pts); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	queries := []Query{
+		{Measurement: "cpu00"},
+		{Measurement: "cpu01", Limit: 10},
+		{Measurement: "cpu00", Agg: AggMean, Every: 10 * time.Second, GroupByTags: []string{"hostname"}},
+		{Measurement: "cpu01", Agg: AggPercentile, Percentile: 95},
+		{Measurement: "cpu00", Agg: AggSum, Start: time.Unix(100, 0), End: time.Unix(800, 0)},
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(r+i)%len(queries)]
+				res, err := db.Select(q)
+				if err != nil && err != ErrNoMeasurement {
+					t.Errorf("select: %v", err)
+					return
+				}
+				// Snapshot consistency: rows of every series must be sorted
+				// even while writers reorder concurrently.
+				for _, s := range res {
+					for j := 1; j < len(s.Rows); j++ {
+						if s.Rows[j].Time.Before(s.Rows[j-1].Time) {
+							t.Errorf("unsorted snapshot rows in %v", s.Tags)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if got, want := db.PointCount(), writers*batches*perB; got != want {
+		t.Fatalf("PointCount = %d, want %d", got, want)
+	}
+	res, err := db.Select(Query{Measurement: "cpu00", Agg: AggCount, GroupByTags: []string{"hostname"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res {
+		if got := s.Rows[0].Values[0].IntVal(); got != batches*perB {
+			t.Fatalf("series %v count = %d, want %d", s.Tags, got, batches*perB)
+		}
+	}
+}
+
 // TestStoreConcurrentCreateDrop hammers the store-level database map.
 func TestStoreConcurrentCreateDrop(t *testing.T) {
 	t.Parallel()

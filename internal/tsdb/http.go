@@ -22,6 +22,13 @@ import (
 // Unknown databases are created on first write, which keeps the
 // "integration effort as low as possible" goal: an agent can start pushing
 // before an administrator provisions anything.
+//
+// SELECTs served through /query run on the lock-light two-phase engine
+// behind DB.Select (select.go): a query holds its shard's read lock only
+// while snapshotting the matching point runs, so dashboard polling through
+// this handler no longer stalls agents writing to the same shard, and
+// repeated identical queries inside the cache TTL are answered from the
+// query-result cache (cache.go).
 type Handler struct {
 	store *Store
 	mux   *http.ServeMux

@@ -1,0 +1,397 @@
+package tsdb
+
+// The two-phase, lock-light query engine behind DB.Select (DESIGN.md §6).
+//
+// Phase 1 (snapshotSelect) takes the shard lock of the queried measurement
+// in *read* mode and only long enough to collect slice headers of the
+// matching, already-sorted point runs — the write path keeps every series
+// sorted and never mutates a published backing array (see the series
+// invariants in tsdb.go), so the headers stay valid after the lock is
+// released. The time-range cut and, for raw queries, the row Limit are
+// pushed into this phase: rows a query cannot return are never snapshotted.
+//
+// Phase 2 (executeGroups) buckets the runs by the group-by tag combination
+// and runs filtering, window bucketing and aggregation outside any lock,
+// fanning the groups out over a bounded worker pool (DB.SetQueryWorkers,
+// StackConfig.QueryWorkers). Aggregates are computed as per-run partials
+// merged in a fixed order (agg.go), so the result is byte-identical no
+// matter how many workers run — the serial engine is simply workers=1.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lineproto"
+)
+
+// seriesRun is one matching series' in-range point run, snapshotted under
+// the shard read lock.
+type seriesRun struct {
+	key  string // series key: deterministic ordering across map iterations
+	tags map[string]string
+	pts  []row
+}
+
+// selectGroup is one result series in the making: every run whose tags
+// project to the same group-by combination.
+type selectGroup struct {
+	tags map[string]string
+	runs [][]row
+}
+
+// snapshotSelect is phase 1: resolve the column set and snapshot the
+// matching point runs, grouped by the group-by tag projection. Only the
+// shard read lock is held, and only while slicing headers.
+func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
+	startNS, endNS := rangeNS(q.Start, q.End)
+	// Raw all-column queries return at most Limit rows per result series,
+	// and every stored row carries at least one field (Validate enforces
+	// it), so every snapshotted row produces an output row and each run can
+	// be clamped to Limit during the snapshot. With an explicit field
+	// projection a row may lack all requested columns and emit nothing, so
+	// the clamp would drop matching rows further down the run — those
+	// queries truncate at emission instead.
+	rawLimit := 0
+	if q.Limit > 0 && (q.Agg == "" || q.Agg == AggNone) && len(q.Fields) == 0 {
+		rawLimit = q.Limit
+	}
+
+	sh := db.shardFor(q.Measurement)
+	sh.mu.RLock()
+	m, ok := sh.measurements[q.Measurement]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, nil, ErrNoMeasurement
+	}
+	cols := q.Fields
+	if len(cols) == 0 {
+		cols = make([]string, 0, len(m.fields))
+		for k := range m.fields {
+			cols = append(cols, k)
+		}
+		sort.Strings(cols)
+	}
+	runs := make([]seriesRun, 0, len(m.series))
+	for key, sr := range m.series {
+		if !q.Filter.matches(sr.tags) {
+			continue
+		}
+		for _, run := range sr.runs {
+			lo := sort.Search(len(run), func(i int) bool { return run[i].t >= startNS })
+			hi := sort.Search(len(run), func(i int) bool { return run[i].t > endNS })
+			if lo >= hi {
+				continue
+			}
+			if rawLimit > 0 && hi-lo > rawLimit {
+				hi = lo + rawLimit
+			}
+			runs = append(runs, seriesRun{key: key, tags: sr.tags, pts: run[lo:hi]})
+		}
+	}
+	sh.mu.RUnlock()
+
+	// Everything below operates on immutable snapshots, outside the lock.
+	// The sort must be stable: runs of one series keep their creation order,
+	// so timestamp ties across runs resolve in insertion order.
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].key < runs[j].key })
+	groups := map[string]*selectGroup{}
+	var order []string
+	for _, r := range runs {
+		gtags := map[string]string{}
+		for _, k := range q.GroupByTags {
+			gtags[k] = r.tags[k]
+		}
+		key := seriesKey(gtags)
+		g, ok := groups[key]
+		if !ok {
+			g = &selectGroup{tags: gtags}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.runs = append(g.runs, r.pts)
+	}
+	sort.Strings(order)
+	ordered := make([]*selectGroup, len(order))
+	for i, key := range order {
+		ordered[i] = groups[key]
+	}
+	return cols, ordered, nil
+}
+
+// executeGroups is phase 2: aggregate each group into its result series,
+// fanning out across the DB's bounded worker pool. Group i always lands in
+// slot i, so the output order (sorted group keys) is deterministic.
+func (db *DB) executeGroups(q Query, cols []string, groups []*selectGroup) []Series {
+	if len(groups) == 0 {
+		return nil
+	}
+	out := make([]Series, len(groups))
+	run := func(i int) { out[i] = executeGroup(q, cols, groups[i]) }
+	if len(groups) == 1 || db.queryWorkers <= 1 {
+		for i := range groups {
+			run(i)
+		}
+		return out
+	}
+	// Bounded fan-out: a group runs on a pool slot when one is free and
+	// inline otherwise, so a query never queues behind itself and the
+	// goroutine count stays capped across concurrent Selects. The channel
+	// is captured once so acquire and release always pair on the same pool
+	// even if SetQueryWorkers swaps it mid-flight.
+	qsem := db.qsem
+	var wg sync.WaitGroup
+	for i := range groups {
+		select {
+		case qsem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-qsem }()
+				run(i)
+			}(i)
+		default:
+			run(i)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// executeGroup renders one result series from its snapshot runs.
+func executeGroup(q Query, cols []string, g *selectGroup) Series {
+	res := Series{Name: q.Measurement, Tags: g.tags, Columns: cols}
+	switch {
+	case q.Agg == "" || q.Agg == AggNone:
+		res.Rows = emitRaw(g.runs, cols, q.Limit)
+	case q.Every > 0:
+		startNS, endNS := rangeNS(q.Start, q.End)
+		res.Rows = windowAggregateRuns(g.runs, cols, q.Agg, q.Percentile, q.Every, startNS, endNS, q.Limit)
+	default:
+		vals := make([]*lineproto.Value, len(cols))
+		for i, c := range cols {
+			// Aggregation pushdown: one partial per run, merged in run
+			// order (count/sum/min/max/mean merge exactly; percentile
+			// merges sorted value runs). A single-run group folds straight
+			// into the final partial.
+			p := newPartial(q.Agg, q.Percentile)
+			if len(g.runs) == 1 {
+				foldRun(p, g.runs[0], c)
+				p.finalize()
+			} else {
+				for _, run := range g.runs {
+					rp := newPartial(q.Agg, q.Percentile)
+					foldRun(rp, run, c)
+					rp.finalize()
+					p.merge(rp)
+				}
+			}
+			if v, ok := p.result(); ok {
+				vv := v
+				vals[i] = &vv
+			}
+		}
+		t := q.Start
+		if t.IsZero() {
+			t = time.Unix(0, minFirstT(g.runs)).UTC()
+		}
+		res.Rows = append(res.Rows, Row{Time: t, Values: vals})
+	}
+	return res
+}
+
+// foldRun feeds one column of a point run into a partial.
+func foldRun(p *partial, run []row, col string) {
+	for _, r := range run {
+		if v, ok := r.fields[col]; ok {
+			p.observe(r.t, v)
+		}
+	}
+}
+
+// emitRaw merges the sorted runs by timestamp (stable: lower run index
+// first on ties) and projects the requested columns, stopping as soon as
+// limit rows were produced.
+func emitRaw(runs [][]row, cols []string, limit int) []Row {
+	var out []Row
+	emit := func(r row) bool {
+		vals := make([]*lineproto.Value, len(cols))
+		any := false
+		for i, c := range cols {
+			if v, ok := r.fields[c]; ok {
+				vv := v
+				vals[i] = &vv
+				any = true
+			}
+		}
+		if any {
+			out = append(out, Row{Time: time.Unix(0, r.t).UTC(), Values: vals})
+		}
+		return limit > 0 && len(out) >= limit
+	}
+	if len(runs) == 1 {
+		for _, r := range runs[0] {
+			if emit(r) {
+				break
+			}
+		}
+		return out
+	}
+	idx := make([]int, len(runs))
+	for {
+		best := -1
+		for ri, run := range runs {
+			if idx[ri] >= len(run) {
+				continue
+			}
+			if best < 0 || run[idx[ri]].t < runs[best][idx[best]].t {
+				best = ri
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		r := runs[best][idx[best]]
+		idx[best]++
+		if emit(r) {
+			return out
+		}
+	}
+}
+
+// minFirstT returns the earliest timestamp across the (non-empty, sorted)
+// runs.
+func minFirstT(runs [][]row) int64 {
+	min := int64(maxInt64)
+	for _, run := range runs {
+		if len(run) > 0 && run[0].t < min {
+			min = run[0].t
+		}
+	}
+	return min
+}
+
+// windowAggregateRuns is the partial-merging counterpart of the serial
+// windowAggregate reference: each run is bucketed into aligned windows on
+// its own (runs are sorted, so this is a single forward sweep), per-window
+// per-column partials are merged across runs in run order, and windows are
+// emitted in time order, truncated at limit. Empty windows are skipped
+// (InfluxDB fill(none)).
+func windowAggregateRuns(runs [][]row, cols []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64, limit int) []Row {
+	w := every.Nanoseconds()
+	if w <= 0 || len(runs) == 0 {
+		return nil
+	}
+	minT := minFirstT(runs)
+	if startNS == minInt64 {
+		startNS = minT
+	}
+	first := minT
+	if first < startNS {
+		first = startNS
+	}
+	base := alignNS(first, w)
+	_ = endNS // rows beyond the end were already cut in phase 1
+
+	// Single-run groups (the common GROUP BY hostname shape) need no
+	// cross-run merge: windows arrive in order, rows fold straight into
+	// the final partials and emission stops at limit — the window-side
+	// counterpart of the raw Limit pushdown.
+	if len(runs) == 1 {
+		run := runs[0]
+		var out []Row
+		i := 0
+		for i < len(run) {
+			ws := alignNS(run[i].t, w)
+			if ws < base {
+				ws = base
+			}
+			we := ws + w
+			j := i
+			for j < len(run) && run[j].t < we {
+				j++
+			}
+			vals := make([]*lineproto.Value, len(cols))
+			for ci, c := range cols {
+				p := partial{agg: agg, pct: pct, mode: modeOf(agg)}
+				foldRun(&p, run[i:j], c)
+				p.finalize()
+				if v, ok := p.result(); ok {
+					vv := v
+					vals[ci] = &vv
+				}
+			}
+			out = append(out, Row{Time: time.Unix(0, ws).UTC(), Values: vals})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+			i = j
+		}
+		return out
+	}
+
+	// Multi-run groups: per-run per-window partials, merged across runs in
+	// run order. Feeding rows of run k only after every row of runs <k
+	// keeps the merge order fixed and the result independent of worker
+	// scheduling.
+	wins := map[int64][]partial{}
+	for _, run := range runs {
+		i := 0
+		for i < len(run) {
+			ws := alignNS(run[i].t, w)
+			if ws < base {
+				ws = base
+			}
+			we := ws + w
+			j := i
+			for j < len(run) && run[j].t < we {
+				j++
+			}
+			parts, ok := wins[ws]
+			if !ok {
+				parts = make([]partial, len(cols))
+				for ci := range parts {
+					parts[ci] = partial{agg: agg, pct: pct, mode: modeOf(agg)}
+				}
+				wins[ws] = parts
+			}
+			for ci, c := range cols {
+				rp := partial{agg: agg, pct: pct, mode: modeOf(agg)}
+				foldRun(&rp, run[i:j], c)
+				rp.finalize()
+				parts[ci].merge(&rp)
+			}
+			i = j
+		}
+	}
+	starts := make([]int64, 0, len(wins))
+	for ws := range wins {
+		starts = append(starts, ws)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	if limit > 0 && len(starts) > limit {
+		starts = starts[:limit]
+	}
+	out := make([]Row, 0, len(starts))
+	for _, ws := range starts {
+		parts := wins[ws]
+		vals := make([]*lineproto.Value, len(cols))
+		for ci := range parts {
+			if v, ok := parts[ci].result(); ok {
+				vv := v
+				vals[ci] = &vv
+			}
+		}
+		out = append(out, Row{Time: time.Unix(0, ws).UTC(), Values: vals})
+	}
+	return out
+}
+
+// alignNS floors t to a multiple of w, mirroring InfluxDB window alignment
+// (correct for negative timestamps too).
+func alignNS(t, w int64) int64 {
+	if t >= 0 {
+		return t - t%w
+	}
+	return t - (w+t%w)%w
+}

@@ -27,7 +27,21 @@
 // The batched entry point is WriteBatch: it validates the whole batch,
 // splits it per shard, and inside each shard groups consecutive points of
 // the same series into an append buffer so the per-point cost is one row
-// append instead of two map lookups and a key build.
+// append instead of two map lookups and a key build. Writes keep every
+// series sorted (out-of-order batches are merged into freshly allocated
+// arrays), so published point runs are immutable.
+//
+// # Read path
+//
+// DB.Select runs on a two-phase, lock-light engine (select.go, DESIGN.md
+// §6): phase 1 holds the shard *read* lock only while snapshotting slice
+// headers of the matching point runs — with the time range and, for raw
+// queries, the row Limit pushed into the snapshot — and phase 2 buckets,
+// groups and aggregates entirely outside the lock, fanning result groups
+// out over a bounded worker pool (SetQueryWorkers) and merging per-run
+// partial aggregates (agg.go). A small TTL'd query-result cache (cache.go)
+// absorbs the dashboard viewer's repeated panel refreshes and is
+// invalidated per measurement on write.
 package tsdb
 
 import (
@@ -57,6 +71,11 @@ type Store struct {
 	// store starts serving traffic.
 	ShardsPerDB int
 
+	// QueryWorkersPerDB bounds the Select aggregation fan-out of databases
+	// created by CreateDatabase; 0 selects the default (GOMAXPROCS). Set it
+	// before the store starts serving traffic.
+	QueryWorkersPerDB int
+
 	mu  sync.RWMutex
 	dbs map[string]*DB
 }
@@ -74,6 +93,9 @@ func (s *Store) CreateDatabase(name string) *DB {
 		return db
 	}
 	db := NewDBShards(name, s.ShardsPerDB)
+	if s.QueryWorkersPerDB > 0 {
+		db.SetQueryWorkers(s.QueryWorkersPerDB)
+	}
 	s.dbs[name] = db
 	return db
 }
@@ -112,6 +134,17 @@ type DB struct {
 	retention atomic.Int64 // nanoseconds; 0 = keep forever
 	newest    atomic.Int64 // unix ns of the newest point ever written
 	lastPrune atomic.Int64 // wall-clock unix ns of the last retention sweep
+
+	// Read path (select.go, cache.go). queryWorkers bounds the phase-2
+	// fan-out of Select; qsem is the shared slot pool sized to it.
+	queryWorkers int
+	qsem         chan struct{}
+	qcache       queryCache
+	// measGens holds one invalidation generation counter per measurement
+	// (*atomic.Uint64); globalGen invalidates everything (retention sweeps,
+	// DropBefore).
+	measGens  sync.Map
+	globalGen atomic.Uint64
 }
 
 // shard is one lock domain of a DB. A measurement is wholly contained in
@@ -139,7 +172,26 @@ func NewDBShards(name string, n int) *DB {
 	for i := range db.shards {
 		db.shards[i] = &shard{measurements: make(map[string]*measurement)}
 	}
+	db.queryWorkers = DefaultQueryWorkers()
+	db.qsem = make(chan struct{}, db.queryWorkers)
+	db.qcache.init()
 	return db
+}
+
+// DefaultQueryWorkers is the phase-2 fan-out bound used when none is
+// configured: one aggregation worker per schedulable CPU.
+func DefaultQueryWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// SetQueryWorkers bounds the number of goroutines one Select may fan
+// group aggregation out to. n <= 0 restores the default (GOMAXPROCS),
+// n == 1 forces the serial engine. Like Store.ShardsPerDB it must be set
+// before the database starts serving queries.
+func (db *DB) SetQueryWorkers(n int) {
+	if n <= 0 {
+		n = DefaultQueryWorkers()
+	}
+	db.queryWorkers = n
+	db.qsem = make(chan struct{}, n)
 }
 
 // Name returns the database name.
@@ -185,15 +237,39 @@ type measurement struct {
 	fields map[string]lineproto.ValueKind
 }
 
+// series holds the point runs of one tag set, log-structured: a list of
+// individually sorted runs, ordered by creation. Invariants the lock-light
+// read path (select.go) relies on:
+//
+//   - every run is sorted by timestamp,
+//   - a backing array that has been published in runs is never reordered
+//     or overwritten in place: in-order writes append to the newest run
+//     (growing past len is invisible to readers holding shorter slice
+//     headers), out-of-order writes start a new run, compaction merges
+//     runs into freshly allocated arrays, and pruning copies survivors.
+//
+// A reader that snapshotted run sub-slices under the shard RLock may
+// therefore keep reading them after releasing the lock. Compaction keeps
+// run sizes roughly geometric, so a series holds O(log n) runs and the
+// write amplification of out-of-order ingest stays O(log n) per point
+// instead of the O(n) a single always-sorted array would cost.
 type series struct {
-	tags   map[string]string
-	points []row
-	sorted bool
+	tags map[string]string // immutable after creation
+	runs [][]row
+}
+
+// totalPoints is the row count across all runs.
+func (sr *series) totalPoints() int {
+	n := 0
+	for _, run := range sr.runs {
+		n += len(run)
+	}
+	return n
 }
 
 type row struct {
-	t      int64 // unix nanoseconds
-	fields map[string]lineproto.Value
+	t      int64                      // unix nanoseconds
+	fields map[string]lineproto.Value // immutable after insert
 }
 
 // seriesKey builds the canonical identity of a tag set.
@@ -245,6 +321,7 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 	}
 	now := time.Now()
 	defer db.maybePrune()
+	defer db.bumpMeasGens(pts) // invalidate cached query results per measurement
 	if len(db.shards) == 1 {
 		db.shards[0].writeBatch(db, pts, now)
 		return nil
@@ -303,15 +380,35 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 		curKey  string
 	)
 	pending := sh.scratch[:0]
+	pendingSorted := true
 	commit := func() {
 		if curS == nil || len(pending) == 0 {
 			return
 		}
-		if n := len(curS.points); n > 0 && curS.points[n-1].t > pending[0].t {
-			curS.sorted = false
+		if !pendingSorted {
+			sort.SliceStable(pending, func(i, j int) bool { return pending[i].t < pending[j].t })
 		}
-		curS.points = append(curS.points, pending...)
+		if n := len(curS.runs); n > 0 {
+			last := curS.runs[n-1]
+			if m := len(last); m > 0 && last[m-1].t <= pending[0].t {
+				// In-order arrival (the hot path): extend the newest run.
+				curS.runs[n-1] = append(last, pending...)
+				pending = pending[:0]
+				pendingSorted = true
+				return
+			}
+		}
+		// Out-of-order arrival: open a new run (copied out of the scratch
+		// buffer), then compact runs of similar size so the run count stays
+		// logarithmic. Merging allocates fresh arrays, so readers holding
+		// snapshots of the old runs are unaffected.
+		curS.runs = append(curS.runs, append([]row(nil), pending...))
+		for n := len(curS.runs); n >= 2 && len(curS.runs[n-2]) <= 2*len(curS.runs[n-1]); n = len(curS.runs) {
+			merged := mergeRows(curS.runs[n-2], curS.runs[n-1])
+			curS.runs = append(curS.runs[:n-2], merged)
+		}
 		pending = pending[:0]
+		pendingSorted = true
 	}
 
 	newest := int64(minInt64)
@@ -344,7 +441,7 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 				for k, v := range p.Tags {
 					tags[k] = v
 				}
-				sr = &series{tags: tags, sorted: true}
+				sr = &series{tags: tags}
 				curM.series[key] = sr
 			}
 			curS = sr
@@ -356,7 +453,7 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 		}
 		ns := p.Time.UnixNano()
 		if n := len(pending); n > 0 && pending[n-1].t > ns {
-			curS.sorted = false
+			pendingSorted = false
 		}
 		pending = append(pending, row{t: ns, fields: fields})
 		if ns > newest {
@@ -375,6 +472,24 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 	}
 }
 
+// mergeRows stably merges two sorted row runs into a freshly allocated
+// array; on equal timestamps rows of a precede rows of b.
+func mergeRows(a, b []row) []row {
+	out := make([]row, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].t <= b[j].t {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // maybePrune runs a retention sweep over every shard, at most once per
 // second, with the cutoff anchored at the newest inserted point. It is
 // called after batch writes, outside any shard lock, so the sweep can take
@@ -390,22 +505,46 @@ func (db *DB) maybePrune() {
 		return
 	}
 	cutoff := db.newest.Load() - ret
+	dropped := false
 	for _, sh := range db.shards {
 		sh.mu.Lock()
-		sh.pruneLocked(cutoff)
+		dropped = sh.pruneLocked(cutoff) || dropped
 		sh.mu.Unlock()
+	}
+	if dropped {
+		// A sweep that removed rows invalidates every cached query result;
+		// an empty sweep must not flush unrelated entries.
+		db.globalGen.Add(1)
 	}
 }
 
-func (sh *shard) pruneLocked(beforeNS int64) {
+// pruneLocked drops rows older than beforeNS and reports whether anything
+// was removed.
+func (sh *shard) pruneLocked(beforeNS int64) bool {
+	anyDropped := false
 	for mname, m := range sh.measurements {
 		for key, sr := range m.series {
-			sr.ensureSorted()
-			idx := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t >= beforeNS })
-			if idx > 0 {
-				sr.points = append([]row(nil), sr.points[idx:]...)
+			changed := false
+			kept := sr.runs[:0:0]
+			for _, run := range sr.runs {
+				idx := sort.Search(len(run), func(i int) bool { return run[i].t >= beforeNS })
+				switch {
+				case idx == 0:
+					kept = append(kept, run)
+				case idx == len(run):
+					changed = true
+				default:
+					// Copy the survivors: readers may still hold snapshots
+					// of the old backing array.
+					kept = append(kept, append([]row(nil), run[idx:]...))
+					changed = true
+				}
 			}
-			if len(sr.points) == 0 {
+			if changed {
+				sr.runs = kept
+				anyDropped = true
+			}
+			if len(sr.runs) == 0 {
 				delete(m.series, key)
 			}
 		}
@@ -413,24 +552,21 @@ func (sh *shard) pruneLocked(beforeNS int64) {
 			delete(sh.measurements, mname)
 		}
 	}
+	return anyDropped
 }
 
 // DropBefore removes all points older than t from every series.
 func (db *DB) DropBefore(t time.Time) {
 	ns := t.UnixNano()
+	dropped := false
 	for _, sh := range db.shards {
 		sh.mu.Lock()
-		sh.pruneLocked(ns)
+		dropped = sh.pruneLocked(ns) || dropped
 		sh.mu.Unlock()
 	}
-}
-
-func (sr *series) ensureSorted() {
-	if sr.sorted {
-		return
+	if dropped {
+		db.globalGen.Add(1)
 	}
-	sort.SliceStable(sr.points, func(i, j int) bool { return sr.points[i].t < sr.points[j].t })
-	sr.sorted = true
 }
 
 // Measurements lists measurement names in sorted order, merged across
@@ -532,7 +668,7 @@ func (db *DB) PointCount() int {
 		sh.mu.RLock()
 		for _, m := range sh.measurements {
 			for _, sr := range m.series {
-				n += len(sr.points)
+				n += sr.totalPoints()
 			}
 		}
 		sh.mu.RUnlock()
@@ -589,100 +725,21 @@ type Series struct {
 	Rows    []Row
 }
 
-// Select executes a query against the database. A measurement lives wholly
-// inside one shard, so only that shard is locked; queries on other
-// measurements proceed concurrently.
+// Select executes a query against the database with the two-phase,
+// lock-light engine in select.go: phase 1 snapshots matching point runs
+// under the shard read lock, phase 2 filters, buckets and aggregates them
+// outside any lock on a bounded worker pool. Results may be served from and
+// are stored into a small TTL'd cache (cache.go); treat them as read-only.
 func (db *DB) Select(q Query) ([]Series, error) {
-	sh := db.shardFor(q.Measurement)
-	sh.mu.Lock() // full lock: ensureSorted may reorder points
-	defer sh.mu.Unlock()
-	m, ok := sh.measurements[q.Measurement]
-	if !ok {
-		return nil, ErrNoMeasurement
+	res, ref, ok := db.qcache.lookup(db, q)
+	if ok {
+		return res, nil
 	}
-	cols := q.Fields
-	if len(cols) == 0 {
-		cols = make([]string, 0, len(m.fields))
-		for k := range m.fields {
-			cols = append(cols, k)
-		}
-		sort.Strings(cols)
+	cols, groups, err := db.snapshotSelect(q)
+	if err != nil {
+		return nil, err
 	}
-	startNS, endNS := rangeNS(q.Start, q.End)
-
-	// Group matching series by the requested group-by tag combination.
-	type group struct {
-		tags map[string]string
-		rows []row
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, sr := range m.series {
-		if !q.Filter.matches(sr.tags) {
-			continue
-		}
-		sr.ensureSorted()
-		lo := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t >= startNS })
-		hi := sort.Search(len(sr.points), func(i int) bool { return sr.points[i].t > endNS })
-		if lo >= hi {
-			continue
-		}
-		gtags := map[string]string{}
-		for _, k := range q.GroupByTags {
-			gtags[k] = sr.tags[k]
-		}
-		key := seriesKey(gtags)
-		g, ok := groups[key]
-		if !ok {
-			g = &group{tags: gtags}
-			groups[key] = g
-			order = append(order, key)
-		}
-		g.rows = append(g.rows, sr.points[lo:hi]...)
-	}
-	sort.Strings(order)
-
-	var out []Series
-	for _, key := range order {
-		g := groups[key]
-		sort.SliceStable(g.rows, func(i, j int) bool { return g.rows[i].t < g.rows[j].t })
-		res := Series{Name: q.Measurement, Tags: g.tags, Columns: cols}
-		switch {
-		case q.Agg == "" || q.Agg == AggNone:
-			for _, r := range g.rows {
-				vals := make([]*lineproto.Value, len(cols))
-				any := false
-				for i, c := range cols {
-					if v, ok := r.fields[c]; ok {
-						vv := v
-						vals[i] = &vv
-						any = true
-					}
-				}
-				if any {
-					res.Rows = append(res.Rows, Row{Time: time.Unix(0, r.t).UTC(), Values: vals})
-				}
-			}
-		case q.Every > 0:
-			res.Rows = windowAggregate(g.rows, cols, q.Agg, q.Percentile, q.Every, startNS, endNS)
-		default:
-			vals := make([]*lineproto.Value, len(cols))
-			for i, c := range cols {
-				if v, ok := aggregateColumn(g.rows, c, q.Agg, q.Percentile); ok {
-					vv := v
-					vals[i] = &vv
-				}
-			}
-			t := q.Start
-			if t.IsZero() && len(g.rows) > 0 {
-				t = time.Unix(0, g.rows[0].t).UTC()
-			}
-			res.Rows = append(res.Rows, Row{Time: t, Values: vals})
-		}
-		if q.Limit > 0 && len(res.Rows) > q.Limit {
-			res.Rows = res.Rows[:q.Limit]
-		}
-		out = append(out, res)
-	}
+	out := db.executeGroups(q, cols, groups)
+	db.qcache.store(db, ref, out)
 	return out, nil
 }

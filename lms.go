@@ -43,6 +43,22 @@
 // write, and tsdb.DB.WriteBatch commits each batch with one lock
 // acquisition per touched shard. README.md describes the sharded store and
 // the shard-count knob in more detail.
+//
+// # Query scaling
+//
+// The read path is lock-light and parallel (DESIGN.md §6). tsdb.DB.Select
+// runs in two phases: a snapshot phase that holds the shard read lock only
+// while collecting slice headers of the matching sorted, immutable point
+// runs (with the time range and raw-query row limits pushed down into the
+// snapshot), and an aggregation phase that buckets, groups and aggregates
+// entirely outside any lock, fanning result groups out over a bounded
+// worker pool (tsdb.DB.SetQueryWorkers, tsdb.Store.QueryWorkersPerDB,
+// StackConfig.QueryWorkers). Per-run partial aggregates merge in a fixed
+// order, so parallel results are byte-identical to the serial engine. A
+// TTL'd query-result cache, invalidated per measurement on write, absorbs
+// the dashboard viewer's repeated panel refreshes. README.md's "Query
+// path" section and DESIGN.md §6 describe the design; EXPERIMENTS.md
+// records the measured gains.
 package lms
 
 import (
