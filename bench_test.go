@@ -12,6 +12,7 @@ package lms
 // EXPERIMENTS.md records the measured outcomes against the paper's claims.
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -113,7 +114,7 @@ func seedEvaluationDB(b *testing.B, nodes, minutes int) (*tsdb.DB, analysis.JobM
 // dashboard is loaded.
 func BenchmarkE2_JobEvaluation(b *testing.B) {
 	db, meta := seedEvaluationDB(b, 4, 120)
-	ev := &analysis.Evaluator{DB: db, PeakMemBWMBs: 120000, PeakDPMFlops: 500000}
+	ev := &analysis.Evaluator{Querier: tsdb.QuerierFor(db), Database: db.Name(), PeakMemBWMBs: 120000, PeakDPMFlops: 500000}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := ev.Evaluate(meta)
@@ -801,6 +802,50 @@ func BenchmarkQ3_SelectCachedRefresh(b *testing.B) {
 	if hits, _ := db.QueryCacheStats(); b.N > 1 && hits == 0 {
 		b.Fatal("cache never hit")
 	}
+}
+
+// BenchmarkQ4_RemoteQuery measures the query API's two doors over the same
+// windowed panel query (DESIGN.md §7): sub-bench "local" runs pre-parsed
+// statements on a LocalQuerier (no string round-trip, no transport),
+// sub-bench "remote" sends them through the HTTP Client — URL encoding,
+// GET /query, chunk-aware JSON stream decode — against the tsdb handler on
+// a real listener, i.e. the split lms-dashboard / lms-db deployment. The
+// gap between the two is the price of scale-out per panel refresh. The
+// cache is disabled so the full path is measured every iteration.
+func BenchmarkQ4_RemoteQuery(b *testing.B) {
+	store := tsdb.NewStore()
+	store.Attach(seedQueryDB(b, 8))
+	store.DB("lms").SetQueryCacheTTL(0)
+	stmt := tsdb.SelectStatement(tsdb.Query{
+		Measurement: windowQuery.Measurement,
+		Start:       windowQuery.Start,
+		End:         windowQuery.End,
+		GroupByTags: windowQuery.GroupByTags,
+		Every:       windowQuery.Every,
+	}, tsdb.AggCol{Field: "value", Agg: tsdb.AggMean})
+	req := tsdb.Request{Database: "lms", Statements: []tsdb.Statement{stmt}}
+	ctx := context.Background()
+
+	run := func(b *testing.B, qr tsdb.Querier) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			resp, err := qr.Query(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Results) != 1 || len(resp.Results[0].Series) != 4 {
+				b.Fatalf("unexpected result shape %+v", resp.Results)
+			}
+		}
+	}
+	b.Run("local", func(b *testing.B) {
+		run(b, tsdb.LocalQuerier{Store: store})
+	})
+	b.Run("remote", func(b *testing.B) {
+		srv := httptest.NewServer(tsdb.NewHandler(store))
+		defer srv.Close()
+		run(b, &tsdb.Client{BaseURL: srv.URL, Database: "lms"})
+	})
 }
 
 // --- X1: extension, stream analyzer -----------------------------------------

@@ -3,28 +3,29 @@
 // (Fig. 2), pathological-interval detection with threshold + timeout rules
 // (Fig. 4) and the performance-pattern decision tree.
 //
-// Data is loaded from a line-protocol dump file (as produced by recording
-// the router stream or exporting from the database).
+// Data comes either from a line-protocol dump file (-data, as produced by
+// recording the router stream or exporting from the database) or straight
+// from a running lms-db over HTTP (-db-url) — the analysis engine only
+// talks to the tsdb query API, so both modes produce identical reports.
 //
 // Usage:
 //
 //	lms-analyze -data job.lp -job 42 -user alice -nodes node01,node02 \
 //	            -start 2017-08-04T10:00:00Z -end 2017-08-04T12:00:00Z
+//	lms-analyze -db-url http://dbhost:8086 -db lms -job 42 \
+//	            -start 2017-08-04T10:00:00Z -end 2017-08-04T12:00:00Z
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
-	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/cli"
-	"repro/internal/lineproto"
-	"repro/internal/tsdb"
 )
 
 // errPathological marks a successfully analyzed but flagged job; main turns
@@ -41,69 +42,41 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lms-analyze", flag.ContinueOnError)
-	dataPath := fs.String("data", "", "line-protocol dump file (required)")
+	dataPath := fs.String("data", "", "line-protocol dump file (offline mode)")
+	dbURL := fs.String("db-url", "", "base URL of a running lms-db, e.g. http://127.0.0.1:8086 (remote mode)")
+	dbName := fs.String("db", "lms", "database name")
 	jobID := fs.String("job", "", "job id (required)")
 	user := fs.String("user", "", "job owner")
-	nodesArg := fs.String("nodes", "", "comma-separated node list (default: hostnames found in the data)")
-	startArg := fs.String("start", "", "job start (RFC3339; default: earliest sample)")
-	endArg := fs.String("end", "", "job end (RFC3339; default: latest sample)")
+	nodesArg := fs.String("nodes", "", "comma-separated node list (default: hostnames of series tagged with the job, else all hostnames)")
+	startArg := fs.String("start", "", "job start (RFC3339; offline default: earliest sample, remote default: end-1h)")
+	endArg := fs.String("end", "", "job end (RFC3339; offline default: latest sample, remote default: now)")
 	peakBW := fs.Float64("peak-membw", 60000, "achievable node memory bandwidth [MB/s] for the pattern tree")
 	peakFlops := fs.Float64("peak-flops", 352000, "peak node DP rate [MFLOP/s] for the pattern tree")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 
-	if *dataPath == "" || *jobID == "" {
-		return cli.UsageErr(fs, "-data and -job are required")
+	if *jobID == "" {
+		return cli.UsageErr(fs, "-job is required")
 	}
-	raw, err := os.ReadFile(*dataPath)
+	if (*dataPath == "") == (*dbURL == "") {
+		return cli.UsageErr(fs, "exactly one of -data (offline) or -db-url (remote) is required")
+	}
+
+	ctx := context.Background()
+	qr, nodes, start, end, err := cli.JobSource{
+		DataPath: *dataPath, DBURL: *dbURL, DBName: *dbName, JobID: *jobID,
+		StartArg: *startArg, EndArg: *endArg, NodesArg: *nodesArg,
+	}.Open(ctx)
 	if err != nil {
 		return err
 	}
-	pts, err := lineproto.Parse(raw)
-	if err != nil {
-		return fmt.Errorf("parse %s: %w", *dataPath, err)
-	}
-	if len(pts) == 0 {
-		return fmt.Errorf("no points in %s", *dataPath)
-	}
-	db := tsdb.NewDB("offline")
-	if err := db.WriteBatch(pts); err != nil {
-		return fmt.Errorf("load: %w", err)
-	}
 
-	var nodes []string
-	if *nodesArg != "" {
-		nodes = strings.Split(*nodesArg, ",")
-	} else {
-		nodes = db.TagValues("", "hostname")
+	ev := &analysis.Evaluator{
+		Querier: qr, Database: *dbName,
+		PeakMemBWMBs: *peakBW, PeakDPMFlops: *peakFlops,
 	}
-	if len(nodes) == 0 {
-		return fmt.Errorf("no nodes given and no hostname tags found")
-	}
-
-	start, end := pts[0].Time, pts[0].Time
-	for _, p := range pts {
-		if p.Time.Before(start) {
-			start = p.Time
-		}
-		if p.Time.After(end) {
-			end = p.Time
-		}
-	}
-	if *startArg != "" {
-		if start, err = time.Parse(time.RFC3339, *startArg); err != nil {
-			return fmt.Errorf("bad -start: %w", err)
-		}
-	}
-	if *endArg != "" {
-		if end, err = time.Parse(time.RFC3339, *endArg); err != nil {
-			return fmt.Errorf("bad -end: %w", err)
-		}
-	}
-
-	ev := &analysis.Evaluator{DB: db, PeakMemBWMBs: *peakBW, PeakDPMFlops: *peakFlops}
-	rep, err := ev.Evaluate(analysis.JobMeta{
+	rep, err := ev.EvaluateContext(ctx, analysis.JobMeta{
 		ID: *jobID, User: *user, Nodes: nodes, Start: start, End: end,
 	})
 	if err != nil {

@@ -1,82 +1,76 @@
-// Command lms-dashboard is the dashboard agent in offline mode: from a
-// line-protocol dump it generates the Grafana-model dashboard JSON for a
-// job out of the panel templates (paper Sect. III-D) and optionally renders
-// the panels as text graphs.
+// Command lms-dashboard is the dashboard agent: from a job's monitoring
+// data it generates the Grafana-model dashboard JSON out of the panel
+// templates (paper Sect. III-D) and optionally renders the panels as text
+// graphs.
+//
+// It runs in two modes sharing one code path through the tsdb query API:
+//
+//   - offline: -data loads a line-protocol dump into an in-process store
+//     and queries it through a LocalQuerier;
+//   - remote: -db-url points at a running lms-db (or InfluxDB) and all
+//     queries go over HTTP — the dashboard agent as its own service, the
+//     deployment topology of the paper.
 //
 // Usage:
 //
 //	lms-dashboard -data job.lp -job 42 -user alice -nodes node01,node02 \
 //	              -render
+//	lms-dashboard -db-url http://dbhost:8086 -db lms -job 42 \
+//	              -start 2017-08-04T10:00:00Z -end 2017-08-04T12:00:00Z
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"os"
-	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/cli"
 	"repro/internal/dashboard"
-	"repro/internal/lineproto"
-	"repro/internal/tsdb"
 )
 
 func main() { cli.Main("lms-dashboard", run) }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lms-dashboard", flag.ContinueOnError)
-	dataPath := fs.String("data", "", "line-protocol dump file (required)")
+	dataPath := fs.String("data", "", "line-protocol dump file (offline mode)")
+	dbURL := fs.String("db-url", "", "base URL of a running lms-db, e.g. http://127.0.0.1:8086 (remote mode)")
+	dbName := fs.String("db", "lms", "database name")
 	jobID := fs.String("job", "", "job id (required)")
 	user := fs.String("user", "", "job owner")
-	nodesArg := fs.String("nodes", "", "comma-separated node list (default: hostnames in the data)")
+	nodesArg := fs.String("nodes", "", "comma-separated node list (default: hostnames of series tagged with the job, else all hostnames)")
+	startArg := fs.String("start", "", "job start (RFC3339; offline default: earliest sample, remote default: end-1h)")
+	endArg := fs.String("end", "", "job end (RFC3339; offline default: latest sample, remote default: now)")
 	render := fs.Bool("render", false, "render the panels as text instead of emitting JSON")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
-	if *dataPath == "" || *jobID == "" {
-		return cli.UsageErr(fs, "-data and -job are required")
+	if *jobID == "" {
+		return cli.UsageErr(fs, "-job is required")
+	}
+	if (*dataPath == "") == (*dbURL == "") {
+		return cli.UsageErr(fs, "exactly one of -data (offline) or -db-url (remote) is required")
 	}
 
-	raw, err := os.ReadFile(*dataPath)
+	ctx := context.Background()
+	qr, nodes, start, end, err := cli.JobSource{
+		DataPath: *dataPath, DBURL: *dbURL, DBName: *dbName, JobID: *jobID,
+		StartArg: *startArg, EndArg: *endArg, NodesArg: *nodesArg,
+		OfflineEndPad: time.Second, // panels include the last sample
+	}.Open(ctx)
 	if err != nil {
 		return err
 	}
-	pts, err := lineproto.Parse(raw)
-	if err != nil {
-		return fmt.Errorf("parse: %w", err)
-	}
-	if len(pts) == 0 {
-		return fmt.Errorf("empty dump")
-	}
-	store := tsdb.NewStore()
-	db := store.CreateDatabase("lms")
-	if err := db.WriteBatch(pts); err != nil {
-		return fmt.Errorf("load: %w", err)
-	}
 
-	var nodes []string
-	if *nodesArg != "" {
-		nodes = strings.Split(*nodesArg, ",")
-	} else {
-		nodes = db.TagValues("", "hostname")
+	agent := &dashboard.Agent{
+		Querier: qr, Database: *dbName,
+		Evaluator: &analysis.Evaluator{Querier: qr, Database: *dbName},
 	}
-	start, end := pts[0].Time, pts[0].Time
-	for _, p := range pts {
-		if p.Time.Before(start) {
-			start = p.Time
-		}
-		if p.Time.After(end) {
-			end = p.Time
-		}
-	}
-
-	agent := &dashboard.Agent{DB: db, Evaluator: &analysis.Evaluator{DB: db}}
-	d, err := agent.GenerateJobDashboard(analysis.JobMeta{
+	d, err := agent.GenerateJobDashboardContext(ctx, analysis.JobMeta{
 		ID: *jobID, User: *user, Nodes: nodes,
-		Start: start, End: end.Add(time.Second),
+		Start: start, End: end,
 	})
 	if err != nil {
 		return err
@@ -85,7 +79,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("generated dashboard invalid: %w", err)
 	}
 	if *render {
-		text, err := dashboard.RenderDashboard(store, "lms", d)
+		text, err := dashboard.RenderDashboard(ctx, qr, *dbName, d)
 		if err != nil {
 			return fmt.Errorf("render: %w", err)
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -176,7 +177,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("dashboard: %w", err)
 		}
-		text, err := dashboard.RenderDashboard(stack.Store, stack.DBName(), d)
+		text, err := dashboard.RenderDashboard(context.Background(), stack.Querier, stack.DBName(), d)
 		if err != nil {
 			return fmt.Errorf("render: %w", err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	text, err := dashboard.RenderDashboard(stack.Store, stack.DBName(), d)
+	text, err := dashboard.RenderDashboard(context.Background(), stack.Querier, stack.DBName(), d)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// DiscoverJobNodes finds the hostnames participating in a job: the
+// distinct hostname tag values of series tagged jobid=<id>, collected with
+// one batched LIMIT 1 query per measurement (the snapshot clamps every
+// matching run to a single row, so this stays cheap over large series, and
+// against a remote lms-db it is two round trips total). Dumps recorded
+// without job enrichment carry no jobid tags; those fall back to every
+// hostname in the database — the pre-existing single-job-dump behavior.
+// Against a shared multi-job database the jobid scoping is what keeps
+// other jobs' nodes out of the report.
+func DiscoverJobNodes(ctx context.Context, qr tsdb.Querier, db, jobID string) ([]string, error) {
+	meas, err := tsdb.QueryStrings(ctx, qr, db, tsdb.ShowMeasurementsStatement(), 0)
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]tsdb.Statement, len(meas))
+	for i, m := range meas {
+		stmts[i] = tsdb.SelectStatement(tsdb.Query{
+			Measurement: m,
+			Filter:      tsdb.TagFilter{"jobid": jobID},
+			GroupByTags: []string{"hostname"},
+			Limit:       1,
+		})
+	}
+	set := map[string]struct{}{}
+	if len(stmts) > 0 {
+		resp, err := qr.Query(ctx, tsdb.Request{Database: db, Statements: stmts})
+		if err != nil {
+			return nil, err
+		}
+		if err := resp.Err(); err != nil {
+			return nil, err
+		}
+		for _, res := range resp.Results {
+			for _, s := range res.Series {
+				if v := s.Tags["hostname"]; v != "" {
+					set[v] = struct{}{}
+				}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return tsdb.QueryStrings(ctx, qr, db, tsdb.ShowTagValuesStatement("", "hostname"), 1)
+	}
+	nodes := make([]string, 0, len(set))
+	for v := range set {
+		nodes = append(nodes, v)
+	}
+	sort.Strings(nodes)
+	return nodes, nil
+}

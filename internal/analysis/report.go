@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -70,14 +71,21 @@ type Report struct {
 // Pathological reports whether any rule fired.
 func (r *Report) Pathological() bool { return len(r.Violations) > 0 }
 
-// Evaluator computes job reports from a tsdb database. It implements the
-// online analysis performed when a dashboard is loaded (Fig. 2 shows "data
-// from the start of the job until the loading of the Grafana dashboard")
-// as well as the offline in-depth variant over finished jobs.
+// Evaluator computes job reports through the tsdb query API. It implements
+// the online analysis performed when a dashboard is loaded (Fig. 2 shows
+// "data from the start of the job until the loading of the Grafana
+// dashboard") as well as the offline in-depth variant over finished jobs.
+//
+// The evaluator depends only on tsdb.Querier: wired with a LocalQuerier it
+// runs in-process next to the store, wired with a tsdb.Client it evaluates
+// against a remote lms-db — the separate-service topology of the paper.
+// Its metric timelines are built as pre-parsed statements, so the local
+// path never round-trips through InfluxQL text.
 type Evaluator struct {
-	DB    *tsdb.DB
-	Specs []MetricSpec // nil = DefaultMetricSpecs
-	Rules []Rule       // nil = DefaultRules
+	Querier  tsdb.Querier
+	Database string       // database the job's metrics live in
+	Specs    []MetricSpec // nil = DefaultMetricSpecs
+	Rules    []Rule       // nil = DefaultRules
 
 	// Peaks feed the pattern decision tree; zero disables the respective
 	// saturation checks.
@@ -85,6 +93,12 @@ type Evaluator struct {
 	PeakDPMFlops float64
 	// Now overrides the clock for running jobs (tests).
 	Now func() time.Time
+}
+
+// NewDBEvaluator wires an evaluator directly to one in-process database,
+// the common offline-analysis construction.
+func NewDBEvaluator(db *tsdb.DB) *Evaluator {
+	return &Evaluator{Querier: tsdb.QuerierFor(db), Database: db.Name()}
 }
 
 func (e *Evaluator) specs() []MetricSpec {
@@ -101,29 +115,51 @@ func (e *Evaluator) rules() []Rule {
 	return DefaultRules()
 }
 
-// series fetches one node's metric timeline within the job window.
-func (e *Evaluator) series(node, measurement, field string, start, end time.Time) []TimedValue {
-	res, err := e.DB.Select(tsdb.Query{
+// series fetches one node's metric timeline within the job window through
+// the query API. Timestamps are requested as nanosecond epochs, so both the
+// local and the remote querier return them without a string formatting
+// round-trip. A missing measurement is no data (nil, nil); a failed query —
+// unreachable remote database, cancelled context — is an error, so a
+// broken connection cannot masquerade as a clean job.
+func (e *Evaluator) series(ctx context.Context, node, measurement, field string, start, end time.Time) ([]TimedValue, error) {
+	st := tsdb.SelectStatement(tsdb.Query{
 		Measurement: measurement,
-		Fields:      []string{field},
 		Start:       start,
 		End:         end,
 		Filter:      tsdb.TagFilter{"hostname": node},
+	}, tsdb.AggCol{Field: field})
+	resp, err := e.Querier.Query(ctx, tsdb.Request{
+		Database:   e.Database,
+		Statements: []tsdb.Statement{st},
+		Epoch:      "ns",
 	})
-	if err != nil || len(res) == 0 {
-		return nil
+	if err == nil {
+		err = resp.Err()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s.%s on %s: %w", measurement, field, node, err)
 	}
 	var out []TimedValue
-	for _, s := range res {
-		for _, row := range s.Rows {
-			if row.Values[0] == nil {
-				continue
+	for _, res := range resp.Results {
+		for _, s := range res.Series {
+			for _, row := range s.Values {
+				if len(row) < 2 || row[1] == nil {
+					continue
+				}
+				v, ok := tsdb.FloatValue(row[1])
+				if !ok {
+					continue
+				}
+				t, err := tsdb.ParseTimestamp(row[0])
+				if err != nil {
+					continue
+				}
+				out = append(out, TimedValue{T: t, V: v})
 			}
-			out = append(out, TimedValue{T: row.Time, V: row.Values[0].FloatVal()})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].T.Before(out[j].T) })
-	return out
+	return out, nil
 }
 
 func mean(series []TimedValue) float64 {
@@ -137,10 +173,18 @@ func mean(series []TimedValue) float64 {
 	return sum / float64(len(series))
 }
 
-// Evaluate builds the report for a job.
+// Evaluate builds the report for a job (context-free convenience form of
+// EvaluateContext).
 func (e *Evaluator) Evaluate(job JobMeta) (*Report, error) {
-	if e.DB == nil {
-		return nil, fmt.Errorf("analysis: evaluator has no database")
+	return e.EvaluateContext(context.Background(), job)
+}
+
+// EvaluateContext builds the report for a job. Every metric and rule
+// timeline is fetched through the evaluator's Querier under ctx, so a
+// cancelled dashboard request stops the evaluation mid-way.
+func (e *Evaluator) EvaluateContext(ctx context.Context, job JobMeta) (*Report, error) {
+	if e.Querier == nil {
+		return nil, fmt.Errorf("analysis: evaluator has no querier")
 	}
 	if len(job.Nodes) == 0 {
 		return nil, fmt.Errorf("analysis: job %s has no nodes", job.ID)
@@ -164,7 +208,11 @@ func (e *Evaluator) Evaluate(job JobMeta) (*Report, error) {
 		row := MetricRow{Spec: spec, PerNode: make(map[string]float64, len(job.Nodes))}
 		var present []float64
 		for _, node := range job.Nodes {
-			v := mean(e.series(node, spec.Measurement, spec.Field, job.Start, end)) * scale
+			s, err := e.series(ctx, node, spec.Measurement, spec.Field, job.Start, end)
+			if err != nil {
+				return nil, err
+			}
+			v := mean(s) * scale
 			row.PerNode[node] = v
 			if !math.IsNaN(v) {
 				present = append(present, v)
@@ -177,7 +225,10 @@ func (e *Evaluator) Evaluate(job JobMeta) (*Report, error) {
 	// Rule violations per node.
 	for _, rule := range e.rules() {
 		for _, node := range job.Nodes {
-			series := e.series(node, rule.Measurement, rule.Field, job.Start, end)
+			series, err := e.series(ctx, node, rule.Measurement, rule.Field, job.Start, end)
+			if err != nil {
+				return nil, err
+			}
 			for _, v := range Detect(rule, series) {
 				rep.Violations = append(rep.Violations, NodeViolation{Node: node, Violation: v})
 			}
@@ -191,7 +242,11 @@ func (e *Evaluator) Evaluate(job JobMeta) (*Report, error) {
 	})
 
 	// Pattern classification from the aggregated rows.
-	rep.Classification = Classify(e.patternInput(rep, job, end))
+	in, err := e.patternInput(ctx, rep, job, end)
+	if err != nil {
+		return nil, err
+	}
+	rep.Classification = Classify(in)
 	return rep, nil
 }
 
@@ -205,7 +260,7 @@ func (r *Report) rowByField(measurement, field string) (MetricRow, bool) {
 	return MetricRow{}, false
 }
 
-func (e *Evaluator) patternInput(rep *Report, job JobMeta, end time.Time) PatternInput {
+func (e *Evaluator) patternInput(ctx context.Context, rep *Report, job JobMeta, end time.Time) (PatternInput, error) {
 	in := PatternInput{PeakMemBWMBs: e.PeakMemBWMBs, PeakDPMFlops: e.PeakDPMFlops}
 	if row, ok := rep.rowByField("cpu", "percent"); ok {
 		in.CPUUtil = row.Stats.Mean / 100
@@ -228,12 +283,15 @@ func (e *Evaluator) patternInput(rep *Report, job JobMeta, end time.Time) Patter
 	}
 	// Branch data comes from the BRANCH group when collected.
 	for _, node := range job.Nodes {
-		s := e.series(node, "likwid_branch", "branch_misprediction_ratio", job.Start, end)
+		s, err := e.series(ctx, node, "likwid_branch", "branch_misprediction_ratio", job.Start, end)
+		if err != nil {
+			return PatternInput{}, err
+		}
 		if len(s) > 0 {
 			in.BranchMissRatio = math.Max(in.BranchMissRatio, mean(s))
 		}
 	}
-	return in
+	return in, nil
 }
 
 // FormatTable renders the Fig. 2 evaluation header: one row per metric with

@@ -76,7 +76,8 @@ func seedJobData(t *testing.T) (*tsdb.DB, JobMeta) {
 
 func TestEvaluateJobReport(t *testing.T) {
 	db, job := seedJobData(t)
-	ev := &Evaluator{DB: db, PeakMemBWMBs: 100000, PeakDPMFlops: 500000}
+	ev := NewDBEvaluator(db)
+	ev.PeakMemBWMBs, ev.PeakDPMFlops = 100000, 500000
 	rep, err := ev.Evaluate(job)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +108,7 @@ func TestEvaluateJobReport(t *testing.T) {
 
 func TestEvaluateDetectsFig4Break(t *testing.T) {
 	db, job := seedJobData(t)
-	ev := &Evaluator{DB: db}
+	ev := NewDBEvaluator(db)
 	rep, err := ev.Evaluate(job)
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +155,8 @@ func TestEvaluateHealthyJobClean(t *testing.T) {
 			Time:        start.Add(time.Duration(i) * time.Minute),
 		})
 	}
-	ev := &Evaluator{DB: db, PeakMemBWMBs: 50000, PeakDPMFlops: 400000}
+	ev := NewDBEvaluator(db)
+	ev.PeakMemBWMBs, ev.PeakDPMFlops = 50000, 400000
 	rep, err := ev.Evaluate(JobMeta{ID: "1", Nodes: []string{"h1"}, Start: start, End: start.Add(time.Hour)})
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +181,7 @@ func TestEvaluateIdleJobClassifiedIdle(t *testing.T) {
 			Time:        start.Add(time.Duration(i) * time.Minute),
 		})
 	}
-	ev := &Evaluator{DB: db}
+	ev := NewDBEvaluator(db)
 	rep, err := ev.Evaluate(JobMeta{ID: "1", Nodes: []string{"h1"}, Start: start, End: start.Add(time.Hour)})
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +205,8 @@ func TestEvaluateRunningJobUsesNow(t *testing.T) {
 	db, job := seedJobData(t)
 	job.End = time.Time{} // running
 	fixed := job.Start.Add(20 * time.Minute)
-	ev := &Evaluator{DB: db, Now: func() time.Time { return fixed }}
+	ev := NewDBEvaluator(db)
+	ev.Now = func() time.Time { return fixed }
 	rep, err := ev.Evaluate(job)
 	if err != nil {
 		t.Fatal(err)
@@ -217,9 +220,10 @@ func TestEvaluateRunningJobUsesNow(t *testing.T) {
 func TestEvaluateValidation(t *testing.T) {
 	ev := &Evaluator{}
 	if _, err := ev.Evaluate(JobMeta{ID: "x", Nodes: []string{"h"}}); err == nil {
-		t.Error("nil db accepted")
+		t.Error("nil querier accepted")
 	}
-	ev.DB = tsdb.NewDB("lms")
+	ev.Querier = tsdb.QuerierFor(tsdb.NewDB("lms"))
+	ev.Database = "lms"
 	if _, err := ev.Evaluate(JobMeta{ID: "x"}); err == nil {
 		t.Error("no nodes accepted")
 	}
@@ -240,7 +244,7 @@ func TestEvaluateValidation(t *testing.T) {
 
 func TestFormatTableFig2Shape(t *testing.T) {
 	db, job := seedJobData(t)
-	ev := &Evaluator{DB: db}
+	ev := NewDBEvaluator(db)
 	rep, _ := ev.Evaluate(job)
 	table := rep.FormatTable()
 	// Header names the job and the four rightmost columns are the nodes.
@@ -280,7 +284,7 @@ func TestFormatTableHealthy(t *testing.T) {
 			Time:   start.Add(time.Duration(i) * time.Minute),
 		})
 	}
-	ev := &Evaluator{DB: db}
+	ev := NewDBEvaluator(db)
 	rep, _ := ev.Evaluate(JobMeta{ID: "ok", Nodes: []string{"h1"}, Start: start, End: start.Add(time.Hour)})
 	table := rep.FormatTable()
 	if !strings.Contains(table, "No pathological behaviour detected") {

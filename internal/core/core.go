@@ -53,6 +53,11 @@ type Stack struct {
 	Agent     *dashboard.Agent
 	Viewer    *dashboard.Viewer
 
+	// Querier is the read-side API every consumer of this stack is wired
+	// through. In-process stacks get a LocalQuerier over Store; the same
+	// consumers accept a tsdb.Client instead to read from a remote lms-db.
+	Querier tsdb.Querier
+
 	DBHandler *tsdb.Handler // InfluxDB-compatible HTTP API of the store
 	cfg       StackConfig
 }
@@ -97,14 +102,16 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return nil, err
 	}
 
+	qr := tsdb.LocalQuerier{Store: store}
 	ev := &analysis.Evaluator{
-		DB:           db,
+		Querier:      qr,
+		Database:     cfg.DBName,
 		PeakMemBWMBs: cfg.PeakMemBWMBs,
 		PeakDPMFlops: cfg.PeakDPMFlops,
 		Now:          cfg.Now,
 	}
-	agent := &dashboard.Agent{DB: db, Evaluator: ev}
-	viewer := dashboard.NewViewer(store, cfg.DBName, rt.Jobs(), agent)
+	agent := &dashboard.Agent{Querier: qr, Database: cfg.DBName, Evaluator: ev}
+	viewer := dashboard.NewViewer(qr, cfg.DBName, rt.Jobs(), agent)
 	if cfg.Now != nil {
 		viewer.Now = cfg.Now
 	}
@@ -117,6 +124,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Evaluator: ev,
 		Agent:     agent,
 		Viewer:    viewer,
+		Querier:   qr,
 		DBHandler: tsdb.NewHandler(store),
 		cfg:       cfg,
 	}, nil

@@ -164,7 +164,9 @@ func TestDistributedDeployment(t *testing.T) {
 		t.Fatal("user db missing or empty")
 	}
 	// The evaluation works on the HTTP-fed database too.
-	ev := &analysis.Evaluator{DB: db}
+	// Point the evaluator at the database *server*, exactly as a
+	// standalone lms-analyze -db-url would.
+	ev := &analysis.Evaluator{Querier: &tsdb.Client{BaseURL: dbSrv.URL}, Database: "lms"}
 	rep, err := ev.Evaluate(analysis.JobMeta{
 		ID: "777", User: "erin", Nodes: []string{"node01"},
 		Start: time.Unix(90, 0), End: time.Unix(200, 0),

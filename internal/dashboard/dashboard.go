@@ -19,6 +19,7 @@ package dashboard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -98,9 +99,14 @@ type templateContext struct {
 	EndNS       int64
 }
 
-// Agent generates dashboards from templates and database content.
+// Agent generates dashboards from templates and database content. It
+// discovers measurements, fields and participating hosts through the tsdb
+// query API (SHOW statements over a Querier), so it generates the same
+// dashboards whether the database is in-process or a remote lms-db.
 type Agent struct {
-	DB *tsdb.DB
+	Querier tsdb.Querier
+	// Database is the database the agent inspects.
+	Database string
 	// Templates are tried in order; the first whose Measurement matches is
 	// used for that measurement. Defaults to BuiltinTemplates().
 	Templates []PanelTemplate
@@ -129,17 +135,34 @@ func (a *Agent) hidden(meas string) bool {
 // measurementsForJob discovers which measurements carry data for the job's
 // hosts: the template-selection input ("Based on the hostnames
 // participating in the job, the agent selects the templates").
-func (a *Agent) measurementsForJob(job analysis.JobMeta) []string {
+func (a *Agent) measurementsForJob(ctx context.Context, job analysis.JobMeta) ([]string, error) {
 	hostSet := map[string]bool{}
 	for _, h := range job.Nodes {
 		hostSet[h] = true
 	}
-	var out []string
-	for _, meas := range a.DB.Measurements() {
+	all, err := tsdb.QueryStrings(ctx, a.Querier, a.Database, tsdb.ShowMeasurementsStatement(), 0)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard: list measurements: %w", err)
+	}
+	// One batched request for every measurement's hostname values: against
+	// a remote lms-db this is a single round trip instead of one per
+	// measurement.
+	var candidates []string
+	var stmts []tsdb.Statement
+	for _, meas := range all {
 		if a.hidden(meas) {
 			continue
 		}
-		for _, host := range a.DB.TagValues(meas, "hostname") {
+		candidates = append(candidates, meas)
+		stmts = append(stmts, tsdb.ShowTagValuesStatement(meas, "hostname"))
+	}
+	perMeas, err := tsdb.QueryStringsBatch(ctx, a.Querier, a.Database, stmts, 1)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard: hosts per measurement: %w", err)
+	}
+	var out []string
+	for i, meas := range candidates {
+		for _, host := range perMeas[i] {
 			if hostSet[host] {
 				out = append(out, meas)
 				break
@@ -147,7 +170,7 @@ func (a *Agent) measurementsForJob(job analysis.JobMeta) []string {
 		}
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }
 
 func (a *Agent) findTemplate(meas string) (PanelTemplate, bool) {
@@ -186,12 +209,19 @@ func renderPanel(tpl PanelTemplate, ctx templateContext, id int) (Panel, error) 
 	return p, nil
 }
 
-// GenerateJobDashboard builds the per-job dashboard: analysis header,
-// one row per measurement with per-field graph panels, and the job's
-// event annotations.
+// GenerateJobDashboard builds the per-job dashboard (context-free
+// convenience form of GenerateJobDashboardContext).
 func (a *Agent) GenerateJobDashboard(job analysis.JobMeta) (*Dashboard, error) {
-	if a.DB == nil {
-		return nil, fmt.Errorf("dashboard: agent has no database")
+	return a.GenerateJobDashboardContext(context.Background(), job)
+}
+
+// GenerateJobDashboardContext builds the per-job dashboard: analysis
+// header, one row per measurement with per-field graph panels, and the
+// job's event annotations. Metadata discovery and the evaluation header
+// run through the agent's Querier under ctx.
+func (a *Agent) GenerateJobDashboardContext(ctx context.Context, job analysis.JobMeta) (*Dashboard, error) {
+	if a.Querier == nil {
+		return nil, fmt.Errorf("dashboard: agent has no querier")
 	}
 	end := job.End
 	if end.IsZero() {
@@ -210,7 +240,7 @@ func (a *Agent) GenerateJobDashboard(job analysis.JobMeta) (*Dashboard, error) {
 
 	// Header row: online job evaluation (Fig. 2).
 	if a.Evaluator != nil {
-		rep, err := a.Evaluator.Evaluate(job)
+		rep, err := a.Evaluator.EvaluateContext(ctx, job)
 		if err != nil {
 			return nil, err
 		}
@@ -233,13 +263,26 @@ func (a *Agent) GenerateJobDashboard(job analysis.JobMeta) (*Dashboard, error) {
 		StartNS: job.Start.UnixNano(),
 		EndNS:   end.UnixNano(),
 	}
-	for _, meas := range a.measurementsForJob(job) {
+	measurements, err := a.measurementsForJob(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	// Field keys of all selected measurements in one batched request.
+	fieldStmts := make([]tsdb.Statement, len(measurements))
+	for i, meas := range measurements {
+		fieldStmts[i] = tsdb.ShowFieldKeysStatement(meas)
+	}
+	fieldsPerMeas, err := tsdb.QueryStringsBatch(ctx, a.Querier, a.Database, fieldStmts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard: field keys: %w", err)
+	}
+	for mi, meas := range measurements {
 		tpl, ok := a.findTemplate(meas)
 		if !ok {
 			continue
 		}
 		row := Row{Title: meas}
-		for _, field := range a.DB.FieldKeys(meas) {
+		for _, field := range fieldsPerMeas[mi] {
 			ctx := ctxBase
 			ctx.Measurement = meas
 			ctx.Field = field

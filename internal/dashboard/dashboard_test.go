@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -69,8 +70,8 @@ func seedStore(t *testing.T) (*tsdb.Store, analysis.JobMeta) {
 
 func TestGenerateJobDashboard(t *testing.T) {
 	store, job := seedStore(t)
-	db := store.DB("lms")
-	agent := &Agent{DB: db, Evaluator: &analysis.Evaluator{DB: db}}
+	qr := tsdb.LocalQuerier{Store: store}
+	agent := &Agent{Querier: qr, Database: "lms", Evaluator: &analysis.Evaluator{Querier: qr, Database: "lms"}}
 	d, err := agent.GenerateJobDashboard(job)
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +142,7 @@ func TestGenerateJobDashboardHostSelection(t *testing.T) {
 		Fields:      map[string]lineproto.Value{"v": lineproto.Float(1)},
 		Time:        job.Start,
 	})
-	agent := &Agent{DB: db}
+	agent := &Agent{Querier: tsdb.LocalQuerier{Store: store}, Database: "lms"}
 	d, err := agent.GenerateJobDashboard(job)
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +157,7 @@ func TestGenerateJobDashboardHostSelection(t *testing.T) {
 func TestGenerateRunningJobDashboard(t *testing.T) {
 	store, job := seedStore(t)
 	job.End = time.Time{} // running
-	agent := &Agent{DB: store.DB("lms")}
+	agent := &Agent{Querier: tsdb.LocalQuerier{Store: store}, Database: "lms"}
 	d, err := agent.GenerateJobDashboard(job)
 	if err != nil {
 		t.Fatal(err)
@@ -169,13 +170,13 @@ func TestGenerateRunningJobDashboard(t *testing.T) {
 func TestAgentValidation(t *testing.T) {
 	agent := &Agent{}
 	if _, err := agent.GenerateJobDashboard(analysis.JobMeta{ID: "x"}); err == nil {
-		t.Fatal("nil db accepted")
+		t.Fatal("nil querier accepted")
 	}
 }
 
 func TestGenerateAdminDashboard(t *testing.T) {
 	store, job := seedStore(t)
-	agent := &Agent{DB: store.DB("lms")}
+	agent := &Agent{Querier: tsdb.LocalQuerier{Store: store}, Database: "lms"}
 	d, err := agent.GenerateAdminDashboard([]analysis.JobMeta{job, {ID: "7", User: "bob", Nodes: []string{"h3"}, Start: job.Start}})
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +216,8 @@ func TestDashboardValidateCatchesBadness(t *testing.T) {
 
 func TestRenderPanelTemplateErrors(t *testing.T) {
 	agent := &Agent{
-		DB:        tsdb.NewDB("lms"),
+		Querier:   tsdb.QuerierFor(tsdb.NewDB("lms")),
+		Database:  "lms",
 		Templates: []PanelTemplate{{Measurement: "*", JSON: `{{.Broken`}},
 	}
 	_ = agent
@@ -251,13 +253,13 @@ func TestSparkline(t *testing.T) {
 
 func TestRenderDashboardText(t *testing.T) {
 	store, job := seedStore(t)
-	db := store.DB("lms")
-	agent := &Agent{DB: db, Evaluator: &analysis.Evaluator{DB: db}}
+	qr := tsdb.LocalQuerier{Store: store}
+	agent := &Agent{Querier: qr, Database: "lms", Evaluator: &analysis.Evaluator{Querier: qr, Database: "lms"}}
 	d, err := agent.GenerateJobDashboard(job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	text, err := RenderDashboard(store, "lms", d)
+	text, err := RenderDashboard(context.Background(), qr, "lms", d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +283,7 @@ func TestRenderDashboardText(t *testing.T) {
 
 func TestRenderPanelUnknownType(t *testing.T) {
 	store, _ := seedStore(t)
-	if _, err := RenderPanel(store, "lms", Panel{ID: 1, Type: "piechart"}); err == nil {
+	if _, err := RenderPanel(context.Background(), tsdb.LocalQuerier{Store: store}, "lms", Panel{ID: 1, Type: "piechart"}); err == nil {
 		t.Fatal("unknown type accepted")
 	}
 }
@@ -289,7 +291,7 @@ func TestRenderPanelUnknownType(t *testing.T) {
 func TestRenderPanelNoData(t *testing.T) {
 	store := tsdb.NewStore()
 	store.CreateDatabase("lms")
-	out, err := RenderPanel(store, "lms", Panel{
+	out, err := RenderPanel(context.Background(), tsdb.LocalQuerier{Store: store}, "lms", Panel{
 		ID: 1, Type: "graph", Title: "t",
 		Targets: []Target{{Query: "SELECT value FROM ghost"}},
 	})
@@ -304,11 +306,11 @@ func TestRenderPanelNoData(t *testing.T) {
 func newViewerEnv(t *testing.T) (*httptest.Server, *router.JobRegistry) {
 	t.Helper()
 	store, job := seedStore(t)
-	db := store.DB("lms")
+	qr := tsdb.LocalQuerier{Store: store}
 	jobs := router.NewJobRegistry(10)
 	_ = jobs.Start(&router.Job{ID: job.ID, User: job.User, Nodes: job.Nodes, Start: job.Start})
-	agent := &Agent{DB: db, Evaluator: &analysis.Evaluator{DB: db}}
-	v := NewViewer(store, "lms", jobs, agent)
+	agent := &Agent{Querier: qr, Database: "lms", Evaluator: &analysis.Evaluator{Querier: qr, Database: "lms"}}
+	v := NewViewer(qr, "lms", jobs, agent)
 	v.Now = func() time.Time { return job.Start.Add(30 * time.Minute) }
 	srv := httptest.NewServer(v)
 	t.Cleanup(srv.Close)
@@ -386,7 +388,8 @@ func TestViewerEmptyAdminView(t *testing.T) {
 	store := tsdb.NewStore()
 	store.CreateDatabase("lms")
 	jobs := router.NewJobRegistry(10)
-	v := NewViewer(store, "lms", jobs, &Agent{DB: store.DB("lms")})
+	qr := tsdb.LocalQuerier{Store: store}
+	v := NewViewer(qr, "lms", jobs, &Agent{Querier: qr, Database: "lms"})
 	srv := httptest.NewServer(v)
 	defer srv.Close()
 	code, body := get(t, srv.URL+"/")

@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -123,7 +124,7 @@ func TestHistogramPanelRendering(t *testing.T) {
 		ID: 1, Title: "FP rate distribution", Type: "histogram",
 		Targets: []Target{{Query: "SELECT dp_mflop_s FROM likwid_mem_dp"}},
 	}
-	out, err := RenderPanel(store, "lms", p)
+	out, err := RenderPanel(context.Background(), tsdb.LocalQuerier{Store: store}, "lms", p)
 	if err != nil {
 		t.Fatal(err)
 	}

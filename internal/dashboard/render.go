@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -93,12 +94,7 @@ func summarize(rs tsdb.ResultSeries) SeriesSummary {
 			s.Values = append(s.Values, math.NaN())
 			continue
 		}
-		v, ok := row[1].(float64)
-		if !ok {
-			if iv, ok2 := row[1].(int64); ok2 {
-				v, ok = float64(iv), true
-			}
-		}
+		v, ok := tsdb.FloatValue(row[1])
 		if !ok {
 			s.Values = append(s.Values, math.NaN())
 			continue
@@ -118,9 +114,12 @@ func summarize(rs tsdb.ResultSeries) SeriesSummary {
 	return s
 }
 
-// RenderPanel executes a panel's queries against the store and renders the
-// result as text. Graph panels become one sparkline per result series.
-func RenderPanel(store *tsdb.Store, dbName string, p Panel) (string, error) {
+// RenderPanel executes a panel's queries through the query API and renders
+// the result as text. Graph panels become one sparkline per result series.
+// Queries are parsed once and handed to the querier as pre-built
+// statements, so the local path skips the InfluxQL string round-trip and
+// the remote path ships the canonical text.
+func RenderPanel(ctx context.Context, qr tsdb.Querier, dbName string, p Panel) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", p.Title)
 	switch p.Type {
@@ -136,11 +135,14 @@ func RenderPanel(store *tsdb.Store, dbName string, p Panel) (string, error) {
 			if err != nil {
 				return "", fmt.Errorf("dashboard: panel %d: %w", p.ID, err)
 			}
-			for _, st := range stmts {
-				res, err := tsdb.Execute(store, dbName, st)
-				if err != nil {
-					return "", fmt.Errorf("dashboard: panel %d: %w", p.ID, err)
-				}
+			resp, err := qr.Query(ctx, tsdb.Request{Database: dbName, Statements: stmts})
+			if err == nil {
+				err = resp.Err()
+			}
+			if err != nil {
+				return "", fmt.Errorf("dashboard: panel %d: %w", p.ID, err)
+			}
+			for _, res := range resp.Results {
 				if len(res.Series) == 0 {
 					b.WriteString("(no data)\n")
 					continue
@@ -167,8 +169,9 @@ func RenderPanel(store *tsdb.Store, dbName string, p Panel) (string, error) {
 	}
 }
 
-// RenderDashboard renders all rows and panels plus the annotation events.
-func RenderDashboard(store *tsdb.Store, dbName string, d *Dashboard) (string, error) {
+// RenderDashboard renders all rows and panels plus the annotation events,
+// fetching every query through the given querier.
+func RenderDashboard(ctx context.Context, qr tsdb.Querier, dbName string, d *Dashboard) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s ###\n", d.Title)
 	if !d.Time.From.IsZero() {
@@ -180,11 +183,11 @@ func RenderDashboard(store *tsdb.Store, dbName string, d *Dashboard) (string, er
 		if err != nil {
 			continue
 		}
-		for _, st := range stmts {
-			res, err := tsdb.Execute(store, dbName, st)
-			if err != nil {
-				continue
-			}
+		resp, err := qr.Query(ctx, tsdb.Request{Database: dbName, Statements: stmts})
+		if err != nil {
+			continue
+		}
+		for _, res := range resp.Results {
 			for _, rs := range res.Series {
 				for _, row := range rs.Values {
 					if len(row) >= 2 {
@@ -199,7 +202,7 @@ func RenderDashboard(store *tsdb.Store, dbName string, d *Dashboard) (string, er
 	for _, row := range d.Rows {
 		fmt.Fprintf(&b, "\n-- %s --\n", row.Title)
 		for _, p := range row.Panels {
-			s, err := RenderPanel(store, dbName, p)
+			s, err := RenderPanel(ctx, qr, dbName, p)
 			if err != nil {
 				return "", err
 			}

@@ -29,11 +29,16 @@ type JobSource interface {
 //
 // The views are generated per request from templates and live data, which
 // reproduces the "automatically updated" property of the paper's front-end.
+//
+// All metric reads go through the Querier, so the viewer runs either
+// in-process with the store (LocalQuerier) or as its own service against a
+// remote lms-db (tsdb.Client) — the paper's topology, where web front-end
+// and metrics database are separate services on separate hosts.
 type Viewer struct {
-	Store  *tsdb.Store
-	DBName string
-	Jobs   JobSource
-	Agent  *Agent
+	Querier tsdb.Querier
+	DBName  string
+	Jobs    JobSource
+	Agent   *Agent
 	// Now overrides the clock (tests).
 	Now func() time.Time
 
@@ -41,8 +46,8 @@ type Viewer struct {
 }
 
 // NewViewer wires the handler.
-func NewViewer(store *tsdb.Store, dbName string, jobs JobSource, agent *Agent) *Viewer {
-	v := &Viewer{Store: store, DBName: dbName, Jobs: jobs, Agent: agent}
+func NewViewer(qr tsdb.Querier, dbName string, jobs JobSource, agent *Agent) *Viewer {
+	v := &Viewer{Querier: qr, DBName: dbName, Jobs: jobs, Agent: agent}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", v.handleAdmin)
 	mux.HandleFunc("/job/", v.handleJob)
@@ -97,15 +102,22 @@ func (v *Viewer) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, j := range jobs {
 		end := v.queryEnd()
-		q := fmt.Sprintf(
-			"SELECT mean(dp_mflop_s) FROM likwid_mem_dp WHERE jobid = '%s' AND time >= %d AND time <= %d GROUP BY time(60s)",
-			j.ID, j.Start.UnixNano(), end.UnixNano())
+		// Built as an AST, not a query string: against a LocalQuerier the
+		// statement executes directly on the Select engine.
+		st := tsdb.SelectStatement(tsdb.Query{
+			Measurement: "likwid_mem_dp",
+			Filter:      tsdb.TagFilter{"jobid": j.ID},
+			Start:       j.Start,
+			End:         end,
+			Every:       time.Minute,
+		}, tsdb.AggCol{Field: "dp_mflop_s", Agg: tsdb.AggMean})
 		thumb := "(no data)"
-		if stmts, err := tsdb.ParseQuery(q); err == nil {
-			if res, err := tsdb.Execute(v.Store, v.DBName, stmts[0]); err == nil && len(res.Series) > 0 {
-				s := summarize(res.Series[0])
-				thumb = fmt.Sprintf("%s last %.4g MFLOP/s", Sparkline(s.Values), s.Last)
-			}
+		resp, err := v.Querier.Query(r.Context(), tsdb.Request{
+			Database: v.DBName, Statements: []tsdb.Statement{st},
+		})
+		if err == nil && len(resp.Results) > 0 && len(resp.Results[0].Series) > 0 {
+			s := summarize(resp.Results[0].Series[0])
+			thumb = fmt.Sprintf("%s last %.4g MFLOP/s", Sparkline(s.Values), s.Last)
 		}
 		fmt.Fprintf(&b, "<a href=\"/job/%s\">job %-12s</a> user %-8s nodes %-3d started %s  %s\n",
 			html.EscapeString(j.ID), html.EscapeString(j.ID), html.EscapeString(j.User),
@@ -129,12 +141,12 @@ func (v *Viewer) handleJob(w http.ResponseWriter, r *http.Request) {
 	if meta.End.IsZero() {
 		meta.End = v.queryEnd()
 	}
-	d, err := v.Agent.GenerateJobDashboard(meta)
+	d, err := v.Agent.GenerateJobDashboardContext(r.Context(), meta)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	text, err := RenderDashboard(v.Store, v.DBName, d)
+	text, err := RenderDashboard(r.Context(), v.Querier, v.DBName, d)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -157,7 +169,7 @@ func (v *Viewer) handleDashboardJSON(w http.ResponseWriter, r *http.Request) {
 	if meta.End.IsZero() {
 		meta.End = v.queryEnd()
 	}
-	d, err := v.Agent.GenerateJobDashboard(meta)
+	d, err := v.Agent.GenerateJobDashboardContext(r.Context(), meta)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestHTTPMultiStatementQuery(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(store))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/query?db=lms&q=" +
-		urlQueryEscape("SHOW MEASUREMENTS; SELECT mean(value) FROM cpu"))
+		url.QueryEscape("SHOW MEASUREMENTS; SELECT mean(value) FROM cpu"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestHTTPQueryErrorInResults(t *testing.T) {
 	store := NewStore()
 	srv := httptest.NewServer(NewHandler(store))
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/query?db=ghost&q=" + urlQueryEscape("SELECT value FROM cpu"))
+	resp, err := http.Get(srv.URL + "/query?db=ghost&q=" + url.QueryEscape("SELECT value FROM cpu"))
 	if err != nil {
 		t.Fatal(err)
 	}

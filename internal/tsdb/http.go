@@ -1,10 +1,12 @@
 package tsdb
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -132,66 +134,152 @@ func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// queryResponse is the top-level InfluxDB JSON document.
-type queryResponse struct {
-	Results []ExecResult `json:"results"`
-}
-
+// handleQuery serves GET|POST /query. Beyond db and q it understands the
+// InfluxDB epoch parameter (integer timestamps in the given precision),
+// chunked=true (one JSON document streamed per statement) and a limit
+// parameter capping rows per result series. Statement execution runs under
+// the request context, so a client that disconnects mid-aggregation stops
+// the query engine instead of completing work nobody reads.
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var qstr, dbName string
+	var params url.Values
 	switch r.Method {
 	case http.MethodGet:
-		qstr = r.URL.Query().Get("q")
-		dbName = r.URL.Query().Get("db")
+		params = r.URL.Query()
 	case http.MethodPost:
 		if err := r.ParseForm(); err != nil {
 			httpError(w, http.StatusBadRequest, "parse form: %v", err)
 			return
 		}
-		qstr = r.Form.Get("q")
-		dbName = r.Form.Get("db")
+		params = r.Form
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
 		return
 	}
+	qstr := params.Get("q")
 	if qstr == "" {
 		httpError(w, http.StatusBadRequest, "missing q parameter")
 		return
+	}
+	epoch := params.Get("epoch")
+	if _, err := epochMult(epoch); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := 0
+	if ls := params.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid limit %q", ls)
+			return
+		}
+		limit = n
 	}
 	stmts, err := ParseQuery(qstr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := queryResponse{}
-	for _, st := range stmts {
-		res, err := Execute(h.store, dbName, st)
-		if err != nil {
-			res = ExecResult{Err: err.Error()}
-		}
-		resp.Results = append(resp.Results, res)
-	}
+	opts := ExecOptions{Epoch: epoch, Limit: limit}
+	dbName := params.Get("db")
 	w.Header().Set("Content-Type", "application/json")
+	if params.Get("chunked") == "true" {
+		// Chunked: one complete {"results":[...]} document per statement,
+		// flushed as soon as it is computed. The client side merges the
+		// stream back into one Response (readResponseStream).
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		_ = execStatements(r.Context(), h.store, dbName, stmts, opts, func(res ExecResult) error {
+			if err := enc.Encode(Response{Results: []ExecResult{res}}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		return
+	}
+	resp := Response{}
+	if err := execStatements(r.Context(), h.store, dbName, stmts, opts, func(res ExecResult) error {
+		resp.Results = append(resp.Results, res)
+		return nil
+	}); err != nil {
+		return // client gone; nothing sensible left to write
+	}
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-// Client is a minimal InfluxDB HTTP client used by the LMS components to
-// write to and query a tsdb (or a real InfluxDB, or the router, which mimics
-// this interface).
+// Transport defaults of the package-level HTTP client. The zero
+// http.DefaultClient has no timeout at all — one hung lms-db connection
+// would wedge a dashboard worker forever — so Client defaults to a pooled
+// transport with a bounded request timeout instead.
+const (
+	// DefaultClientTimeout bounds one HTTP request (dial + write + full
+	// response body) of a Client using the default transport.
+	DefaultClientTimeout = 15 * time.Second
+	// DefaultQueryRetries is the number of times a failed idempotent query
+	// is retried (on connection errors and 5xx responses).
+	DefaultQueryRetries = 2
+	// DefaultRetryBackoff is the first retry delay; it doubles per attempt.
+	DefaultRetryBackoff = 100 * time.Millisecond
+)
+
+// defaultHTTPClient is shared by every Client without an explicit
+// HTTPClient, so connections to the same lms-db are pooled process-wide.
+var defaultHTTPClient = &http.Client{
+	Timeout: DefaultClientTimeout,
+	Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Client is an InfluxDB HTTP client used by the LMS components to write to
+// and query a tsdb (or a real InfluxDB, or the router, which mimics this
+// interface). It implements Querier, so every read-side component that
+// takes a Querier can run against a remote lms-db by substituting a Client
+// for the LocalQuerier — the deployment topology of the paper, where the
+// web front-end and the metrics database live on different hosts.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8086".
 	BaseURL string
-	// Database is the target database for writes and queries.
+	// Database is the default database for writes and queries (a
+	// Request.Database overrides it per query).
 	Database string
-	// HTTPClient optionally overrides http.DefaultClient.
+	// HTTPClient optionally overrides the pooled package default (which
+	// carries DefaultClientTimeout).
 	HTTPClient *http.Client
+	// MaxRetries is the number of retries for failed idempotent queries;
+	// 0 selects DefaultQueryRetries, negative disables retrying.
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubling per attempt; 0
+	// selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries == 0 {
+		return DefaultQueryRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return c.RetryBackoff
 }
 
 // Ping checks connectivity.
@@ -209,8 +297,9 @@ func (c *Client) Ping() error {
 
 // WriteBody posts a raw line-protocol payload.
 func (c *Client) WriteBody(body []byte) error {
-	url := c.BaseURL + "/write?db=" + c.Database
-	resp, err := c.httpClient().Post(url, "text/plain", readerOf(body))
+	vals := url.Values{}
+	vals.Set("db", c.Database)
+	resp, err := c.httpClient().Post(c.BaseURL+"/write?"+vals.Encode(), "text/plain", readerOf(body))
 	if err != nil {
 		return err
 	}
@@ -231,46 +320,116 @@ func (c *Client) WritePoints(pts []lineproto.Point) error {
 	return c.WriteBody(body)
 }
 
-// Query runs an InfluxQL statement and decodes the JSON response.
-func (c *Client) Query(q string) ([]ExecResult, error) {
-	url := c.BaseURL + "/query?db=" + c.Database + "&q=" + urlQueryEscape(q)
-	resp, err := c.httpClient().Get(url)
+// Query implements Querier over the HTTP /query endpoint. Pre-parsed
+// statements are serialized to canonical InfluxQL for the wire; parameters
+// travel as properly encoded url.Values, so database names and query text
+// containing '&', '+' or '%' survive intact. Transient failures (connection
+// errors, 5xx responses) of this idempotent GET are retried with
+// exponential backoff, honoring ctx.
+func (c *Client) Query(ctx context.Context, req Request) (Response, error) {
+	qtext := req.RawQuery
+	if len(req.Statements) > 0 {
+		qtext = textOf(req.Statements)
+	}
+	dbName := req.Database
+	if dbName == "" {
+		dbName = c.Database
+	}
+	vals := url.Values{}
+	vals.Set("q", qtext)
+	if dbName != "" {
+		vals.Set("db", dbName)
+	}
+	if req.Epoch != "" {
+		vals.Set("epoch", req.Epoch)
+	}
+	if req.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(req.Limit))
+	}
+	if req.Chunked {
+		vals.Set("chunked", "true")
+	}
+	u := c.BaseURL + "/query?" + vals.Encode()
+
+	var lastErr error
+	backoff := c.backoff()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return Response{}, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		resp, retryable, err := c.queryOnce(ctx, u)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.retries() || ctx.Err() != nil {
+			return Response{}, lastErr
+		}
+	}
+}
+
+// queryOnce performs one GET /query round-trip. retryable reports whether
+// the failure is transient (network error, 5xx) rather than a caller
+// mistake (4xx, malformed body).
+func (c *Client) queryOnce(ctx context.Context, u string) (Response, bool, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Response{}, false, err
+	}
+	hresp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return Response{}, true, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return Response{}, hresp.StatusCode/100 == 5,
+			fmt.Errorf("tsdb: query status %d: %s", hresp.StatusCode, msg)
+	}
+	resp, err := readResponseStream(hresp.Body)
+	if err != nil {
+		return Response{}, false, fmt.Errorf("tsdb: decode query response: %w", err)
+	}
+	return resp, false, nil
+}
+
+// readResponseStream decodes a /query body: either one JSON document or,
+// for chunked responses, a stream of documents merged in order. Decoding is
+// incremental (no ReadAll staging buffer) and numbers stay json.Number, so
+// int64 values and nanosecond epoch timestamps above 2^53 keep full
+// precision instead of rounding through float64.
+func readResponseStream(r io.Reader) (Response, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var out Response
+	for {
+		var chunk Response
+		if err := dec.Decode(&chunk); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return Response{}, err
+		}
+		out.Results = append(out.Results, chunk.Results...)
+	}
+	return out, nil
+}
+
+// QueryString runs raw InfluxQL against the client's default database and
+// returns the per-statement results, with the first embedded statement
+// error surfaced the way the pre-Querier API did. Convenience wrapper
+// around Query for callers without a context.
+func (c *Client) QueryString(q string) ([]ExecResult, error) {
+	resp, err := c.Query(context.Background(), Request{RawQuery: q})
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("tsdb: query status %d: %s", resp.StatusCode, msg)
-	}
-	var qr queryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		return nil, err
-	}
-	for _, r := range qr.Results {
-		if r.Err != "" {
-			return qr.Results, fmt.Errorf("tsdb: %s", r.Err)
-		}
-	}
-	return qr.Results, nil
-}
-
-func urlQueryEscape(s string) string {
-	const hex = "0123456789ABCDEF"
-	var b []byte
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		switch {
-		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9',
-			c == '-' || c == '_' || c == '.' || c == '~':
-			b = append(b, c)
-		case c == ' ':
-			b = append(b, '+')
-		default:
-			b = append(b, '%', hex[c>>4], hex[c&0xf])
-		}
-	}
-	return string(b)
+	return resp.Results, resp.Err()
 }
 
 // readerOf avoids importing bytes just for NewReader.
@@ -290,6 +449,29 @@ func (r *byteReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// FloatValue converts an InfluxDB JSON value cell to float64: float64 and
+// int64 from a LocalQuerier, json.Number off the HTTP wire, bools as 0/1
+// (matching lineproto.Value.FloatVal). Strings and nil do not convert.
+// Client-side counterpart of ParseTimestamp for the value columns.
+func FloatValue(v interface{}) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int64:
+		return float64(t), true
+	case json.Number:
+		f, err := t.Float64()
+		return f, err == nil
+	case bool:
+		if t {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
 // ParseTimestamp converts an InfluxDB JSON time column entry (RFC3339 string
 // or integer nanoseconds) back to time.Time. Helper for client-side result
 // processing in the dashboard and analysis components.
@@ -303,6 +485,8 @@ func ParseTimestamp(v interface{}) (time.Time, error) {
 		return ts, nil
 	case float64:
 		return time.Unix(0, int64(t)).UTC(), nil
+	case int64:
+		return time.Unix(0, t).UTC(), nil
 	case json.Number:
 		ns, err := strconv.ParseInt(string(t), 10, 64)
 		if err != nil {

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -49,7 +50,7 @@ func TestHTTPWriteAndQuery(t *testing.T) {
 	}
 
 	c := &Client{BaseURL: srv.URL, Database: "lms"}
-	results, err := c.Query("SELECT value FROM cpu GROUP BY hostname")
+	results, err := c.QueryString("SELECT value FROM cpu GROUP BY hostname")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestClientWritePoints(t *testing.T) {
 		t.Fatalf("points %d", n)
 	}
 	// Query error propagation.
-	if _, err := c.Query("SELECT value FROM m WHERE"); err == nil {
+	if _, err := c.QueryString("SELECT value FROM m WHERE"); err == nil {
 		t.Fatal("expected query error")
 	}
 }
@@ -176,11 +177,16 @@ func TestClientQueryEscaping(t *testing.T) {
 		Time:        time.Unix(0, 5),
 	})
 	c := &Client{BaseURL: srv.URL, Database: "lms"}
-	res, err := c.Query("SELECT value FROM cpu WHERE hostname = 'node 01'")
+	res, err := c.QueryString("SELECT value FROM cpu WHERE hostname = 'node 01'")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res[0].Series) != 1 || res[0].Series[0].Values[0][1].(float64) != 3 {
+	// Client-decoded numbers arrive as json.Number so int64 payloads and
+	// nanosecond epochs keep full precision.
+	if len(res[0].Series) != 1 {
+		t.Fatalf("res %+v", res)
+	}
+	if v, err := res[0].Series[0].Values[0][1].(json.Number).Float64(); err != nil || v != 3 {
 		t.Fatalf("res %+v", res)
 	}
 }
@@ -217,7 +223,7 @@ func TestHTTPEndToEndEventAnnotations(t *testing.T) {
 	if err := c.WritePoints([]lineproto.Point{ev}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Query("SELECT text FROM events WHERE jobid = '42'")
+	res, err := c.QueryString("SELECT text FROM events WHERE jobid = '42'")
 	if err != nil {
 		t.Fatal(err)
 	}

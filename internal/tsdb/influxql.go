@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -103,17 +104,22 @@ func (lx *lexer) next() (token, error) {
 		lx.pos++
 		return token{kind: tokString, text: b.String()}, nil
 	case c == '"':
+		// Quoted identifier; backslash escapes the quote (and itself), so
+		// every identifier the line protocol permits can be written.
 		lx.pos++
-		start := lx.pos
+		var b strings.Builder
 		for lx.pos < len(lx.s) && lx.s[lx.pos] != '"' {
+			if lx.s[lx.pos] == '\\' && lx.pos+1 < len(lx.s) {
+				lx.pos++
+			}
+			b.WriteByte(lx.s[lx.pos])
 			lx.pos++
 		}
 		if lx.pos >= len(lx.s) {
 			return token{}, fmt.Errorf("unterminated identifier")
 		}
-		text := lx.s[start:lx.pos]
 		lx.pos++
-		return token{kind: tokIdent, text: text}, nil
+		return token{kind: tokIdent, text: b.String()}, nil
 	case c == '<' || c == '>':
 		start := lx.pos
 		lx.pos++
@@ -644,9 +650,28 @@ func parseDuration(s string) (time.Duration, error) {
 	return time.Duration(n * float64(mult)), nil
 }
 
+// ExecOptions adjust how a statement executes and renders its result.
+type ExecOptions struct {
+	// Epoch selects integer timestamps in the given precision ("ns", "u",
+	// "ms", "s", "m", "h") for SELECT results; "" renders RFC3339 strings.
+	Epoch string
+	// Limit, when > 0, caps the rows per result series of SELECTs on top of
+	// any statement-level LIMIT (the Request.Limit of the query API).
+	Limit int
+}
+
 // Execute runs a parsed statement against the store using db as the current
-// database ("" allowed for SHOW DATABASES / CREATE / DROP).
+// database ("" allowed for SHOW DATABASES / CREATE / DROP). It is the
+// context-free convenience form of ExecuteContext.
 func Execute(store *Store, dbName string, st Statement) (ExecResult, error) {
+	return ExecuteContext(context.Background(), store, dbName, st, ExecOptions{})
+}
+
+// ExecuteContext runs a parsed statement against the store. The context is
+// observed by the Select engine between aggregation tasks, so a caller that
+// goes away (HTTP client disconnect, cancelled dashboard refresh) stops
+// burning worker-pool slots.
+func ExecuteContext(ctx context.Context, store *Store, dbName string, st Statement, opts ExecOptions) (ExecResult, error) {
 	switch st.Kind {
 	case StmtCreateDatabase:
 		store.CreateDatabase(st.Target)
@@ -691,7 +716,7 @@ func Execute(store *Store, dbName string, st Statement) (ExecResult, error) {
 		}
 		return res, nil
 	case StmtSelect:
-		return executeSelect(db, st)
+		return executeSelect(ctx, db, st, opts)
 	default:
 		return ExecResult{}, fmt.Errorf("tsdb: unsupported statement kind %d", st.Kind)
 	}
@@ -712,8 +737,15 @@ type ResultSeries struct {
 	Values  [][]interface{}   `json:"values"`
 }
 
-func executeSelect(db *DB, st Statement) (ExecResult, error) {
+func executeSelect(ctx context.Context, db *DB, st Statement, opts ExecOptions) (ExecResult, error) {
+	epochDiv, err := epochMult(opts.Epoch)
+	if err != nil {
+		return ExecResult{}, err
+	}
 	q := st.Query
+	if opts.Limit > 0 && (q.Limit == 0 || q.Limit > opts.Limit) {
+		q.Limit = opts.Limit
+	}
 	// GROUP BY * expands to all tag keys of the measurement.
 	if len(q.GroupByTags) == 1 && q.GroupByTags[0] == "*" {
 		q.GroupByTags = db.TagKeys(q.Measurement)
@@ -746,7 +778,7 @@ func executeSelect(db *DB, st Statement) (ExecResult, error) {
 		q.Agg = agg
 		q.Percentile = pct
 	}
-	series, err := db.Select(q)
+	series, err := db.SelectContext(ctx, q)
 	if err == ErrNoMeasurement {
 		return ExecResult{}, nil // InfluxDB returns an empty result here
 	}
@@ -764,7 +796,11 @@ func executeSelect(db *DB, st Statement) (ExecResult, error) {
 		}
 		for _, r := range s.Rows {
 			vals := make([]interface{}, 0, len(r.Values)+1)
-			vals = append(vals, r.Time.UTC().Format(time.RFC3339Nano))
+			if epochDiv > 0 {
+				vals = append(vals, r.Time.UnixNano()/epochDiv)
+			} else {
+				vals = append(vals, r.Time.UTC().Format(time.RFC3339Nano))
+			}
 			for _, v := range r.Values {
 				if v == nil {
 					vals = append(vals, nil)

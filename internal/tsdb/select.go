@@ -18,6 +18,7 @@ package tsdb
 // matter how many workers run — the serial engine is simply workers=1.
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -121,18 +122,25 @@ func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
 
 // executeGroups is phase 2: aggregate each group into its result series,
 // fanning out across the DB's bounded worker pool. Group i always lands in
-// slot i, so the output order (sorted group keys) is deterministic.
-func (db *DB) executeGroups(q Query, cols []string, groups []*selectGroup) []Series {
+// slot i, so the output order (sorted group keys) is deterministic. The
+// context is checked between group dispatches and by each pool worker
+// before it starts aggregating, so cancellation is observed at
+// run-aggregation-task granularity: the task in flight finishes, the rest
+// never start.
+func (db *DB) executeGroups(ctx context.Context, q Query, cols []string, groups []*selectGroup) ([]Series, error) {
 	if len(groups) == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]Series, len(groups))
 	run := func(i int) { out[i] = executeGroup(q, cols, groups[i]) }
 	if len(groups) == 1 || db.queryWorkers <= 1 {
 		for i := range groups {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			run(i)
 		}
-		return out
+		return out, nil
 	}
 	// Bounded fan-out: a group runs on a pool slot when one is free and
 	// inline otherwise, so a query never queues behind itself and the
@@ -142,12 +150,18 @@ func (db *DB) executeGroups(q Query, cols []string, groups []*selectGroup) []Ser
 	qsem := db.qsem
 	var wg sync.WaitGroup
 	for i := range groups {
+		if ctx.Err() != nil {
+			break
+		}
 		select {
 		case qsem <- struct{}{}:
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-qsem }()
+				if ctx.Err() != nil {
+					return
+				}
 				run(i)
 			}(i)
 		default:
@@ -155,7 +169,10 @@ func (db *DB) executeGroups(q Query, cols []string, groups []*selectGroup) []Ser
 		}
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // executeGroup renders one result series from its snapshot runs.

@@ -13,7 +13,10 @@
 //   - time-range queries with aggregation, GROUP BY time(...) windows and
 //     GROUP BY tag,
 //   - an InfluxDB-compatible HTTP API (/write, /query, /ping) in http.go and
-//     an InfluxQL subset in influxql.go.
+//     an InfluxQL subset in influxql.go,
+//   - a first-class query API (querier.go, DESIGN.md §7): the Querier
+//     interface with a LocalQuerier for in-process stores and the HTTP
+//     Client for remote ones, returning byte-identical results.
 //
 // # Sharding
 //
@@ -45,6 +48,7 @@
 package tsdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -98,6 +102,15 @@ func (s *Store) CreateDatabase(name string) *DB {
 	}
 	s.dbs[name] = db
 	return db
+}
+
+// Attach registers an existing database (built with NewDB / NewDBShards)
+// under its own name, so DB-first callers can serve it through the query
+// API (QuerierFor). An existing database of the same name is replaced.
+func (s *Store) Attach(db *DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dbs[db.name] = db
 }
 
 // DB returns the database with that name, or nil.
@@ -731,6 +744,18 @@ type Series struct {
 // outside any lock on a bounded worker pool. Results may be served from and
 // are stored into a small TTL'd cache (cache.go); treat them as read-only.
 func (db *DB) Select(q Query) ([]Series, error) {
+	return db.SelectContext(context.Background(), q)
+}
+
+// SelectContext is Select with cancellation: the context is observed
+// between phase-2 aggregation tasks (and by the pool workers before they
+// start one), so a caller that goes away stops the query instead of
+// finishing aggregation nobody will read. A cancelled query returns the
+// context's error and stores nothing in the result cache.
+func (db *DB) SelectContext(ctx context.Context, q Query) ([]Series, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, ref, ok := db.qcache.lookup(db, q)
 	if ok {
 		return res, nil
@@ -739,7 +764,10 @@ func (db *DB) Select(q Query) ([]Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := db.executeGroups(q, cols, groups)
+	out, err := db.executeGroups(ctx, q, cols, groups)
+	if err != nil {
+		return nil, err
+	}
 	db.qcache.store(db, ref, out)
 	return out, nil
 }

@@ -59,6 +59,21 @@
 // the dashboard viewer's repeated panel refreshes. README.md's "Query
 // path" section and DESIGN.md §6 describe the design; EXPERIMENTS.md
 // records the measured gains.
+//
+// # Query API and deployment topologies
+//
+// Every read-side consumer — the dashboard viewer, the analysis
+// evaluator, the lms-dashboard and lms-analyze binaries — depends only on
+// tsdb.Querier (DESIGN.md §7): tsdb.LocalQuerier executes pre-parsed
+// statements directly against the in-process store, and tsdb.Client
+// implements the same contract over the InfluxDB-compatible HTTP API with
+// pooled transport, timeouts and retry/backoff. Substituting one for the
+// other changes the deployment topology (everything in one process vs the
+// paper's separate database, dashboard and analysis services on separate
+// hosts via -db-url) but never the results: the equivalence suite holds
+// both to byte-identical JSON. Contexts flow from the HTTP handlers
+// through DB.SelectContext into the aggregation worker pool, so
+// disconnected clients cancel their queries.
 package lms
 
 import (
