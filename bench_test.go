@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -390,11 +391,12 @@ func BenchmarkO2_BatchedVsSingle(b *testing.B) {
 // --- O3: database ------------------------------------------------------------
 
 // BenchmarkO3_TSDBWrite measures ingest of 100-point batches. The batch
-// re-writes the same timestamps every iteration, so since the
-// log-structured read path (DESIGN.md §6) this is the worst case for the
-// writer: every batch opens a new run and pays amortized compaction.
-// In-order ingest — rising timestamps, the realistic agent pattern —
-// takes the plain append path instead (see EXPERIMENTS.md).
+// re-writes the same timestamps every iteration — the pattern that paid
+// amortized run compaction under the PR 2 log-structured layout and now
+// takes the columnar same-timestamp rewrite fast path (DESIGN.md §8):
+// fields merge copy-on-write with last-write-wins, InfluxDB
+// duplicate-point semantics, no run churn. In-order ingest — rising
+// timestamps, the realistic agent pattern — is BenchmarkO3_TSDBWriteInOrder.
 func BenchmarkO3_TSDBWrite(b *testing.B) {
 	db := tsdb.NewDB("lms")
 	batch := routerBatch(100, "h1")
@@ -405,6 +407,81 @@ func BenchmarkO3_TSDBWrite(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkO3_TSDBWriteInOrder measures the realistic agent ingest
+// pattern: 100-point batches with strictly rising timestamps, which take
+// the append-to-newest-run hot path. Run with -benchmem: this is the
+// workload whose allocs/op the columnar builders and the series-key cache
+// are meant to shrink (EXPERIMENTS.md, experiment O3).
+func BenchmarkO3_TSDBWriteInOrder(b *testing.B) {
+	db := tsdb.NewDB("lms")
+	batch := routerBatch(100, "h1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := time.Unix(int64(i)*100, 0)
+		for k := range batch {
+			batch[k].Time = base.Add(time.Duration(k) * time.Second)
+		}
+		if err := db.WritePoints(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkO3_TSDBMemoryFootprint reports the resident bytes/point of a
+// 1M-point load (4 series, float+int fields, in-order 1000-point
+// batches): the storage-layout metric the columnar run representation
+// optimizes. ns/op is the full load time; bytes/point is measured from
+// the live heap after a GC, so transient write-path garbage is excluded.
+func BenchmarkO3_TSDBMemoryFootprint(b *testing.B) {
+	const (
+		points = 1_000_000
+		perB   = 1000
+		series = 4
+	)
+	var bytesPerPoint float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.StartTimer()
+
+		db := tsdb.NewDBShards("lms", 4)
+		pts := make([]lineproto.Point, perB)
+		for wrote := 0; wrote < points; wrote += perB {
+			for k := range pts {
+				n := wrote + k
+				pts[k] = lineproto.Point{
+					Measurement: "cpu",
+					Tags:        map[string]string{"hostname": fmt.Sprintf("h%d", n%series)},
+					Fields: map[string]lineproto.Value{
+						"value": lineproto.Float(float64(n)),
+						"ops":   lineproto.Int(int64(n % 4096)),
+					},
+					Time: time.Unix(int64(n/series), int64(n%series)),
+				}
+			}
+			if err := db.WriteBatch(pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.StopTimer()
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		bytesPerPoint = float64(after.HeapAlloc-before.HeapAlloc) / points
+		if got := db.PointCount(); got != points {
+			b.Fatalf("PointCount = %d, want %d", got, points)
+		}
+		runtime.KeepAlive(db)
+		b.StartTimer()
+	}
+	b.ReportMetric(bytesPerPoint, "bytes/point")
+	b.ReportMetric(points, "points")
 }
 
 // BenchmarkO3_TSDBWriteParallel measures concurrent ingest of 100-point
@@ -479,6 +556,13 @@ func BenchmarkO3_TSDBQueryInfluxQL(b *testing.B) {
 	db.SetQueryCacheTTL(0)
 	batch := routerBatch(100, "h1")
 	for i := 0; i < 100; i++ {
+		// Distinct timestamps per batch: re-writing identical ones is an
+		// upsert since the columnar rewrite path, which would shrink the
+		// queried data set to one batch.
+		base := time.Unix(int64(i)*100, 0)
+		for k := range batch {
+			batch[k].Time = base.Add(time.Duration(k) * time.Second)
+		}
 		if err := db.WritePoints(batch); err != nil {
 			b.Fatal(err)
 		}

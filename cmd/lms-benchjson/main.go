@@ -1,0 +1,156 @@
+// Command lms-benchjson converts `go test -bench` text output into
+// machine-readable JSON, so CI can archive benchmark results per PR
+// (BENCH_pr*.json) and future changes can be checked against the recorded
+// perf trajectory instead of eyeballing log lines.
+//
+// It reads the benchmark log from stdin (or -in) and writes a JSON array
+// to stdout (or -o), one object per benchmark line:
+//
+//	{"name": "BenchmarkO3_TSDBWriteInOrder", "procs": 4, "runs": 41702,
+//	 "ns_per_op": 29058, "bytes_per_op": 9683, "allocs_per_op": 3,
+//	 "metrics": {"points/s": 3441417}}
+//
+// Custom b.ReportMetric values land in "metrics"; non-benchmark lines
+// (goos/pkg headers, PASS/ok) are skipped. Context lines (goos, goarch,
+// cpu, pkg) are captured into a leading "_env" object.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem | lms-benchjson -o BENCH_pr4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cli"
+)
+
+func main() { cli.Main("lms-benchjson", run) }
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// document is the emitted JSON shape.
+type document struct {
+	Env     map[string]string `json:"env,omitempty"`
+	Results []result          `json:"results"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lms-benchjson", flag.ContinueOnError)
+	in := fs.String("in", "", "input file (default stdin)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, enc, 0o644)
+	}
+	_, err = stdout.Write(enc)
+	return err
+}
+
+// parseBench scans `go test -bench` output. A benchmark line is
+//
+//	BenchmarkName[-procs] <tab> N <tab> v1 unit1 <tab> v2 unit2 ...
+//
+// where ns/op, B/op and allocs/op map to fixed fields and every other
+// unit becomes a custom metric.
+func parseBench(r io.Reader) (*document, error) {
+	doc := &document{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || line == "FAIL":
+			continue
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+			strings.HasPrefix(line, "pkg:") || strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				doc.Env[k] = strings.TrimSpace(v)
+			}
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		res := result{Metrics: map[string]float64{}}
+		res.Name = fields[0]
+		if name, procs, ok := strings.Cut(fields[0], "-"); ok {
+			if p, err := strconv.Atoi(procs); err == nil {
+				res.Name, res.Procs = name, p
+			}
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lms-benchjson: bad iteration count in %q", line)
+		}
+		res.Runs = runs
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("lms-benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Env) == 0 {
+		doc.Env = nil
+	}
+	return doc, nil
+}

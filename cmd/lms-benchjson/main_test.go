@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkO3_TSDBWriteInOrder    	   41702	     29058 ns/op	   3441417 points/s	    9683 B/op	       3 allocs/op
+BenchmarkQ1_SelectWindowParallel-4 	     1272	    964476 ns/op	   5010049 max-write-stall-ns	    414733 points/s	      2074 queries/s	 1120638 B/op	    9475 allocs/op
+PASS
+ok  	repro	6.882s
+`
+
+func TestParseBench(t *testing.T) {
+	doc, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(doc.Results))
+	}
+	r0 := doc.Results[0]
+	if r0.Name != "BenchmarkO3_TSDBWriteInOrder" || r0.Runs != 41702 ||
+		r0.NsPerOp != 29058 || r0.BytesPerOp != 9683 || r0.AllocsPerOp != 3 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if got := r0.Metrics["points/s"]; got != 3441417 {
+		t.Fatalf("r0 points/s = %v", got)
+	}
+	r1 := doc.Results[1]
+	if r1.Name != "BenchmarkQ1_SelectWindowParallel" || r1.Procs != 4 {
+		t.Fatalf("r1 name/procs = %q/%d", r1.Name, r1.Procs)
+	}
+	if r1.Metrics["queries/s"] != 2074 || r1.Metrics["max-write-stall-ns"] != 5010049 {
+		t.Fatalf("r1 metrics = %+v", r1.Metrics)
+	}
+	if doc.Env["cpu"] == "" || doc.Env["goos"] != "linux" {
+		t.Fatalf("env = %+v", doc.Env)
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-o", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("round-tripped results = %d", len(doc.Results))
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX\tnotanumber\n")); err == nil {
+		t.Fatal("expected error for bad iteration count")
+	}
+}

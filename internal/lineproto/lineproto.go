@@ -167,6 +167,30 @@ type Point struct {
 	Time        time.Time
 }
 
+// Field is one field key/value pair of a point, produced by AppendFields.
+type Field struct {
+	Key   string
+	Value Value
+}
+
+// AppendFields appends the point's fields to dst, ordered by key, and
+// returns the extended slice. It is the batch-append fast path feeding
+// columnar consumers (tsdb run builders): callers reuse dst as a scratch
+// buffer across points, so iterating a whole batch allocates nothing and
+// sees every point's fields in one deterministic order regardless of map
+// iteration. Field counts are small, so an insertion sort beats building
+// and sorting a key slice.
+func (p Point) AppendFields(dst []Field) []Field {
+	start := len(dst)
+	for k, v := range p.Fields {
+		dst = append(dst, Field{Key: k, Value: v})
+		for i := len(dst) - 1; i > start && dst[i-1].Key > dst[i].Key; i-- {
+			dst[i-1], dst[i] = dst[i], dst[i-1]
+		}
+	}
+	return dst
+}
+
 // Clone returns a deep copy of the point. Mutating the clone's maps does not
 // affect the original; the router relies on this before tag enrichment.
 func (p Point) Clone() Point {

@@ -561,3 +561,39 @@ func TestReflectDeepEqualAfterClone(t *testing.T) {
 		t.Fatal("clone differs structurally")
 	}
 }
+
+func TestAppendFieldsSortedAndReusable(t *testing.T) {
+	p := Point{
+		Measurement: "m",
+		Fields: map[string]Value{
+			"zeta":  Float(1),
+			"alpha": Int(2),
+			"mid":   String("x"),
+			"beta":  Bool(true),
+		},
+	}
+	var buf []Field
+	for round := 0; round < 3; round++ {
+		buf = p.AppendFields(buf[:0])
+		if len(buf) != 4 {
+			t.Fatalf("round %d: %d fields", round, len(buf))
+		}
+		want := []string{"alpha", "beta", "mid", "zeta"}
+		for i, f := range buf {
+			if f.Key != want[i] {
+				t.Fatalf("round %d: field %d = %q, want %q (sorted)", round, i, f.Key, want[i])
+			}
+			if !f.Value.Equal(p.Fields[f.Key]) {
+				t.Fatalf("round %d: field %q value mismatch", round, f.Key)
+			}
+		}
+	}
+	// Appending after existing entries must only sort the new tail.
+	buf = Point{Fields: map[string]Value{"a": Float(9)}}.AppendFields(buf)
+	if len(buf) != 5 || buf[4].Key != "a" {
+		t.Fatalf("append to non-empty dst: %+v", buf)
+	}
+	if none := (Point{}).AppendFields(nil); len(none) != 0 {
+		t.Fatalf("no fields should append nothing, got %+v", none)
+	}
+}

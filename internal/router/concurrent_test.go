@@ -13,14 +13,19 @@ import (
 // The tests in this file exercise the batched ingest pipeline under
 // goroutine fan-out and are meant to run under the race detector.
 
-func concBatch(meas, host string, n int) []lineproto.Point {
+// concBatch builds one batch of n points starting at timestamp base
+// seconds. Rounds must use distinct bases: re-ingesting identical
+// timestamps is an upsert in the store (tsdb same-timestamp rewrite,
+// InfluxDB duplicate-point semantics), so fixed timestamps would make the
+// PointCount assertions below count deduplication instead of lost points.
+func concBatch(meas, host string, base, n int) []lineproto.Point {
 	pts := make([]lineproto.Point, n)
 	for i := range pts {
 		pts[i] = lineproto.Point{
 			Measurement: meas,
 			Tags:        map[string]string{"hostname": host},
 			Fields:      map[string]lineproto.Value{"value": lineproto.Float(float64(i))},
-			Time:        time.Unix(int64(i), 0),
+			Time:        time.Unix(int64(base+i), 0),
 		}
 	}
 	return pts
@@ -65,7 +70,7 @@ func TestRouterConcurrentIngest(t *testing.T) {
 			}
 			meas := fmt.Sprintf("cpu%02d", a)
 			for i := 0; i < rounds; i++ {
-				if err := rt.Ingest(concBatch(meas, host, perB)); err != nil {
+				if err := rt.Ingest(concBatch(meas, host, i*perB, perB)); err != nil {
 					t.Errorf("agent %d: %v", a, err)
 					return
 				}
@@ -118,12 +123,12 @@ func TestRouterConcurrentIngestBatch(t *testing.T) {
 		wg.Add(1)
 		go func(a int) {
 			defer wg.Done()
-			payload, err := lineproto.Encode(concBatch(fmt.Sprintf("net%02d", a), "h1", perB))
-			if err != nil {
-				t.Errorf("encode: %v", err)
-				return
-			}
 			for i := 0; i < rounds; i++ {
+				payload, err := lineproto.Encode(concBatch(fmt.Sprintf("net%02d", a), "h1", i*perB, perB))
+				if err != nil {
+					t.Errorf("encode: %v", err)
+					return
+				}
 				if err := rt.IngestBatch(payload); err != nil {
 					t.Errorf("ingest: %v", err)
 					return
@@ -159,7 +164,7 @@ func TestRouterConcurrentJobChurn(t *testing.T) {
 			defer wg.Done()
 			host := fmt.Sprintf("churn%02d", a)
 			for i := 0; i < rounds; i++ {
-				if err := rt.Ingest(concBatch("load", host, 5)); err != nil {
+				if err := rt.Ingest(concBatch("load", host, i*5, 5)); err != nil {
 					t.Errorf("ingest: %v", err)
 					return
 				}

@@ -1,0 +1,795 @@
+package tsdb
+
+// Columnar run storage (DESIGN.md §8). A point run is stored as one sorted
+// timestamp column plus one typed value column per field, instead of a
+// slice of per-point field maps: a 100k-point scan walks contiguous
+// []float64 / []int64 / interned-string-id slices and the aggregation
+// inner loops (agg.go) become index-free column sweeps.
+//
+// Invariants the lock-light read path (select.go) relies on, extending the
+// series invariants documented in tsdb.go:
+//
+//   - run.ts is sorted and only ever grows by appending (readers holding a
+//     shorter slice header never observe the new tail);
+//   - value slices only grow by appending, and elements below a published
+//     length are never overwritten in place — the dedup rewrite path and
+//     kind conversions swap in freshly allocated arrays (copy-on-write);
+//   - presence bitmaps are fully copy-on-write: any change allocates a new
+//     word array, because appending a bit would mutate the shared last
+//     word a reader may have snapshotted.
+//
+// A column is "dense" (present == nil) while every row carries a value —
+// the hot case for metric fields — and materializes a presence bitmap only
+// when a row skips the field (sparse event/annotation columns). Dense
+// columns pay zero presence bookkeeping on the append path and aggregate
+// with straight slice sweeps.
+
+import (
+	"sort"
+
+	"repro/internal/lineproto"
+)
+
+// --- bit helpers -------------------------------------------------------
+
+func bitWords(n int) int { return (n + 63) / 64 }
+
+func bitGet(bm []uint64, i int) bool { return bm[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func bitSet(bm []uint64, i int) { bm[i>>6] |= 1 << (uint(i) & 63) }
+
+// denseBits returns a fresh bitmap with bits [0, n) set.
+func denseBits(n int) []uint64 {
+	bm := make([]uint64, bitWords(n))
+	for i := range bm {
+		bm[i] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 {
+		bm[len(bm)-1] = (1 << r) - 1
+	}
+	return bm
+}
+
+// setBitRange sets bits [lo, hi) of bm.
+func setBitRange(bm []uint64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		bitSet(bm, i)
+	}
+}
+
+// --- string interning --------------------------------------------------
+
+// strTable interns the string field values of one measurement: a column
+// stores uint32 ids, the table owns each distinct payload exactly once.
+// The vals slice is append-only, so a reader that snapshotted its header
+// under the shard RLock can resolve every id it saw after releasing the
+// lock (ids referenced by snapshotted rows are always < the snapshotted
+// length).
+type strTable struct {
+	ids  map[string]uint32
+	vals []string
+}
+
+func (t *strTable) intern(s string) uint32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	if t.ids == nil {
+		t.ids = make(map[string]uint32)
+	}
+	id := uint32(len(t.vals))
+	t.ids[s] = id
+	t.vals = append(t.vals, s)
+	return id
+}
+
+// --- columns -----------------------------------------------------------
+
+// col is one field's value column over a run. Exactly one storage arm is
+// active: floats (KindFloat), ints (KindInt and KindBool, booleans as
+// 0/1), strs (KindString, ids into the measurement strTable) — or vals
+// when the field was written with conflicting kinds (mixed). Absent rows
+// hold a zero placeholder in the active arm and a cleared presence bit.
+type col struct {
+	name  string
+	kind  lineproto.ValueKind // element kind while !mixed
+	mixed bool
+	n     int // rows covered (values + gaps); equals len(run.ts) once committed
+
+	floats []float64
+	ints   []int64
+	strs   []uint32
+	vals   []lineproto.Value
+
+	// present marks value-carrying rows, bit i ↔ row i; nil means dense.
+	// Copy-on-write once published (see the file comment).
+	present []uint64
+}
+
+// has reports whether row i carries a value.
+func (c *col) has(i int) bool { return c.present == nil || bitGet(c.present, i) }
+
+// valueAt reconstructs the lineproto.Value of row i. strs is the
+// measurement intern table (only consulted for string columns).
+func (c *col) valueAt(i int, strs []string) (lineproto.Value, bool) {
+	if !c.has(i) {
+		return lineproto.Value{}, false
+	}
+	if c.mixed {
+		return c.vals[i], true
+	}
+	switch c.kind {
+	case lineproto.KindFloat:
+		return lineproto.Float(c.floats[i]), true
+	case lineproto.KindInt:
+		return lineproto.Int(c.ints[i]), true
+	case lineproto.KindBool:
+		return lineproto.Bool(c.ints[i] != 0), true
+	default:
+		return lineproto.String(strs[c.strs[i]]), true
+	}
+}
+
+// padValues appends k zero placeholders to the active storage arm.
+func (c *col) padValues(k int) {
+	switch {
+	case c.mixed:
+		for i := 0; i < k; i++ {
+			c.vals = append(c.vals, lineproto.Value{})
+		}
+	case c.kind == lineproto.KindFloat:
+		for i := 0; i < k; i++ {
+			c.floats = append(c.floats, 0)
+		}
+	case c.kind == lineproto.KindString:
+		for i := 0; i < k; i++ {
+			c.strs = append(c.strs, 0)
+		}
+	default: // KindInt, KindBool
+		for i := 0; i < k; i++ {
+			c.ints = append(c.ints, 0)
+		}
+	}
+}
+
+// toMixed converts a typed column to the mixed representation into a
+// freshly allocated vals array (copy-on-write safe for published columns).
+func (c *col) toMixed(strs []string) {
+	if c.mixed {
+		return
+	}
+	vals := make([]lineproto.Value, c.n)
+	for i := 0; i < c.n; i++ {
+		if v, ok := c.valueAt(i, strs); ok {
+			vals[i] = v
+		}
+	}
+	c.vals = vals
+	c.mixed = true
+	c.floats, c.ints, c.strs = nil, nil, nil
+}
+
+// --- builder-side mutation (private pending columns only) ---------------
+
+// padTo registers rows [c.n, r) as absent. Builder-only: it may grow the
+// presence bitmap in place.
+func (c *col) padTo(r int) {
+	if c.n >= r {
+		return
+	}
+	if c.present == nil {
+		c.present = denseBits(c.n)
+	}
+	for len(c.present) < bitWords(r) {
+		c.present = append(c.present, 0)
+	}
+	c.padValues(r - c.n)
+	c.n = r
+}
+
+// add appends one value as row c.n. Builder-only (in-place bit append).
+func (c *col) add(v lineproto.Value, st *strTable) {
+	if !c.mixed && v.Kind() != c.kind {
+		c.toMixed(st.vals)
+	}
+	if c.present != nil {
+		for len(c.present) < bitWords(c.n+1) {
+			c.present = append(c.present, 0)
+		}
+		bitSet(c.present, c.n)
+	}
+	switch {
+	case c.mixed:
+		c.vals = append(c.vals, v)
+	case c.kind == lineproto.KindFloat:
+		c.floats = append(c.floats, v.FloatVal())
+	case c.kind == lineproto.KindString:
+		c.strs = append(c.strs, st.intern(v.StringVal()))
+	default: // KindInt, KindBool
+		c.ints = append(c.ints, v.IntVal())
+	}
+	c.n++
+}
+
+// gather rebuilds the column in permutation order (row i of the result is
+// old row idx[i]) into fresh arrays. Builder-only (used by the stable
+// timestamp sort of out-of-order batches).
+func (c *col) gather(idx []int32) {
+	if c.present != nil {
+		np := make([]uint64, bitWords(len(idx)))
+		for i, j := range idx {
+			if bitGet(c.present, int(j)) {
+				bitSet(np, i)
+			}
+		}
+		c.present = np
+	}
+	switch {
+	case c.mixed:
+		nv := make([]lineproto.Value, len(idx))
+		for i, j := range idx {
+			nv[i] = c.vals[j]
+		}
+		c.vals = nv
+	case c.kind == lineproto.KindFloat:
+		nv := make([]float64, len(idx))
+		for i, j := range idx {
+			nv[i] = c.floats[j]
+		}
+		c.floats = nv
+	case c.kind == lineproto.KindString:
+		nv := make([]uint32, len(idx))
+		for i, j := range idx {
+			nv[i] = c.strs[j]
+		}
+		c.strs = nv
+	default:
+		nv := make([]int64, len(idx))
+		for i, j := range idx {
+			nv[i] = c.ints[j]
+		}
+		c.ints = nv
+	}
+}
+
+// truncate empties a builder column slot for reuse, keeping the allocated
+// typed arrays (their contents were already copied out by the previous
+// commit).
+func (c *col) truncate() {
+	c.n = 0
+	c.mixed = false
+	c.present = nil
+	c.floats = c.floats[:0]
+	c.ints = c.ints[:0]
+	c.strs = c.strs[:0]
+	c.vals = c.vals[:0]
+}
+
+// clone returns a deep copy (fresh arrays) of the column.
+func (c *col) clone() col {
+	out := *c
+	if c.present != nil {
+		out.present = append([]uint64(nil), c.present...)
+	}
+	switch {
+	case c.mixed:
+		out.vals = append([]lineproto.Value(nil), c.vals...)
+	case c.kind == lineproto.KindFloat:
+		out.floats = append([]float64(nil), c.floats...)
+	case c.kind == lineproto.KindString:
+		out.strs = append([]uint32(nil), c.strs...)
+	default:
+		out.ints = append([]int64(nil), c.ints...)
+	}
+	return out
+}
+
+// --- published-column mutation (copy-on-write presence) -----------------
+
+// padAppendCOW registers rows [c.n, newN) as absent on a published column:
+// values are appended (invisible past snapshotted lengths), the presence
+// bitmap is rebuilt into a fresh array.
+func (c *col) padAppendCOW(newN int) {
+	np := make([]uint64, bitWords(newN))
+	if c.present != nil {
+		copy(np, c.present)
+	} else {
+		setBitRange(np, 0, c.n)
+	}
+	c.present = np
+	c.padValues(newN - c.n)
+	c.n = newN
+}
+
+// appendBlockCOW appends every row of src (a finished builder column of
+// the same field) onto the published column c. strs resolves string ids
+// when a kind conflict forces the mixed representation.
+func (c *col) appendBlockCOW(src *col, strs []string) {
+	oldN := c.n
+	newN := oldN + src.n
+	if c.present != nil || src.present != nil {
+		np := make([]uint64, bitWords(newN))
+		if c.present != nil {
+			copy(np, c.present)
+		} else {
+			setBitRange(np, 0, oldN)
+		}
+		for i := 0; i < src.n; i++ {
+			if src.has(i) {
+				bitSet(np, oldN+i)
+			}
+		}
+		c.present = np
+	}
+	switch {
+	case !c.mixed && !src.mixed && c.kind == src.kind:
+		switch c.kind {
+		case lineproto.KindFloat:
+			c.floats = append(c.floats, src.floats...)
+		case lineproto.KindString:
+			c.strs = append(c.strs, src.strs...)
+		default:
+			c.ints = append(c.ints, src.ints...)
+		}
+	default:
+		c.toMixed(strs)
+		if src.mixed {
+			c.vals = append(c.vals, src.vals...)
+		} else {
+			for i := 0; i < src.n; i++ {
+				v, _ := src.valueAt(i, strs)
+				c.vals = append(c.vals, v)
+			}
+		}
+	}
+	c.n = newN
+}
+
+// overwriteCOW applies src (a builder column whose rows map 1:1 onto c's
+// rows) with last-write-wins per row, into freshly allocated arrays so
+// concurrent snapshots keep reading the previous version.
+func (c *col) overwriteCOW(src *col, strs []string) {
+	if !c.mixed && !src.mixed && c.kind == src.kind {
+		if src.present == nil {
+			// The block rewrites every row: the new arrays replace the
+			// old ones wholesale and the column is dense afterwards.
+			nc := src.clone()
+			c.floats, c.ints, c.strs, c.present = nc.floats, nc.ints, nc.strs, nil
+			return
+		}
+		switch c.kind {
+		case lineproto.KindFloat:
+			nv := append([]float64(nil), c.floats...)
+			for i := 0; i < src.n; i++ {
+				if src.has(i) {
+					nv[i] = src.floats[i]
+				}
+			}
+			c.floats = nv
+		case lineproto.KindString:
+			nv := append([]uint32(nil), c.strs...)
+			for i := 0; i < src.n; i++ {
+				if src.has(i) {
+					nv[i] = src.strs[i]
+				}
+			}
+			c.strs = nv
+		default:
+			nv := append([]int64(nil), c.ints...)
+			for i := 0; i < src.n; i++ {
+				if src.has(i) {
+					nv[i] = src.ints[i]
+				}
+			}
+			c.ints = nv
+		}
+		c.unionPresentCOW(src)
+		return
+	}
+	// Kind conflict: rebuild as mixed.
+	vals := make([]lineproto.Value, c.n)
+	for i := 0; i < c.n; i++ {
+		if v, ok := c.valueAt(i, strs); ok {
+			vals[i] = v
+		}
+	}
+	for i := 0; i < src.n; i++ {
+		if v, ok := src.valueAt(i, strs); ok {
+			vals[i] = v
+		}
+	}
+	c.vals = vals
+	c.mixed = true
+	c.floats, c.ints, c.strs = nil, nil, nil
+	c.unionPresentCOW(src)
+}
+
+// unionPresentCOW merges src's presence into c (rows map 1:1).
+func (c *col) unionPresentCOW(src *col) {
+	if c.present == nil {
+		return // already dense, union is a no-op
+	}
+	if src.present == nil {
+		c.present = nil // src covers every row
+		return
+	}
+	np := append([]uint64(nil), c.present...)
+	for i := range src.present {
+		np[i] |= src.present[i]
+	}
+	c.present = np
+}
+
+// sliceRows returns a fresh column holding rows [lo, hi) (used by the
+// retention pruner; readers may still hold the old arrays).
+func (c *col) sliceRows(lo, hi int) col {
+	k := hi - lo
+	out := col{name: c.name, kind: c.kind, mixed: c.mixed, n: k}
+	switch {
+	case c.mixed:
+		out.vals = append([]lineproto.Value(nil), c.vals[lo:hi]...)
+	case c.kind == lineproto.KindFloat:
+		out.floats = append([]float64(nil), c.floats[lo:hi]...)
+	case c.kind == lineproto.KindString:
+		out.strs = append([]uint32(nil), c.strs[lo:hi]...)
+	default:
+		out.ints = append([]int64(nil), c.ints[lo:hi]...)
+	}
+	if c.present != nil {
+		np := make([]uint64, bitWords(k))
+		all := true
+		for i := 0; i < k; i++ {
+			if bitGet(c.present, lo+i) {
+				bitSet(np, i)
+			} else {
+				all = false
+			}
+		}
+		if !all {
+			out.present = np
+		}
+	}
+	return out
+}
+
+// --- runs --------------------------------------------------------------
+
+// maxSparseRunRows bounds the in-order growth of runs whose extension
+// would rebuild presence bitmaps: bitmap updates are copy-on-write
+// (O(run rows / 64) per commit), so letting such a run grow without bound
+// would make steady sparse-field ingest quadratic. Past this size the
+// block opens a new run instead and the geometric compaction keeps total
+// work O(n log n). Fully dense runs (no bitmaps anywhere — the metric hot
+// path) never roll: their appends are pure bulk copies.
+const maxSparseRunRows = 1 << 15
+
+// pastSparseRollLimit reports whether extending run r with block b should
+// be abandoned in favour of a new run because r is large and the append
+// would have to rebuild presence bitmaps (sparse columns on either side,
+// or a column-set mismatch that forces absent-row padding).
+func pastSparseRollLimit(r *colRun, b *runBuilder) bool {
+	if len(r.ts) < maxSparseRunRows {
+		return false
+	}
+	for i := range r.cols {
+		if r.cols[i].present != nil {
+			return true
+		}
+	}
+	if len(r.cols) != len(b.cols) {
+		return true
+	}
+	for i := range b.cols {
+		if b.cols[i].present != nil || r.colByName(b.cols[i].name) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// colRun is one sorted, immutable-to-readers run of a series in columnar
+// layout: the timestamp column plus one col per field seen in the run.
+// Every col covers exactly len(ts) rows once the owning writeBatch commit
+// returns.
+type colRun struct {
+	ts   []int64
+	cols []col
+}
+
+func (r *colRun) colByName(name string) int {
+	for i := range r.cols {
+		if r.cols[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendBlock extends the run with a finished builder block whose first
+// timestamp is >= the run's last (the in-order hot path). Only appends and
+// presence copy-on-write — published array prefixes are never rewritten.
+func (r *colRun) appendBlock(b *runBuilder, m *measurement) {
+	oldN := len(r.ts)
+	newN := oldN + len(b.ts)
+	for i := range b.cols {
+		bc := &b.cols[i]
+		ci := r.colByName(bc.name)
+		if ci < 0 {
+			r.cols = append(r.cols, col{name: bc.name, kind: bc.kind})
+			ci = len(r.cols) - 1
+			if oldN > 0 {
+				r.cols[ci].padAppendCOW(oldN)
+			}
+		}
+		r.cols[ci].appendBlockCOW(bc, m.strs.vals)
+	}
+	for i := range r.cols {
+		if r.cols[i].n < newN {
+			r.cols[i].padAppendCOW(newN)
+		}
+	}
+	r.ts = append(r.ts, b.ts...)
+}
+
+// rewriteBlock applies a builder block whose timestamps exactly equal the
+// run's (the same-timestamp rewrite pattern): instead of opening a new run
+// and paying compaction, each rewritten field is merged row-for-row with
+// last-write-wins (InfluxDB duplicate-point semantics), copy-on-write so
+// concurrent snapshots stay on the previous version. Fields absent from
+// the block keep their stored values.
+func (r *colRun) rewriteBlock(b *runBuilder, m *measurement) {
+	for i := range b.cols {
+		bc := &b.cols[i]
+		ci := r.colByName(bc.name)
+		if ci < 0 {
+			// A field the run had never seen: the cloned builder column
+			// becomes the run column (same row count by construction).
+			r.cols = append(r.cols, bc.clone())
+			continue
+		}
+		r.cols[ci].overwriteCOW(bc, m.strs.vals)
+	}
+}
+
+// sliceRun returns a fresh run holding rows [lo, hi).
+func (r *colRun) sliceRun(lo, hi int) *colRun {
+	out := &colRun{ts: append([]int64(nil), r.ts[lo:hi]...)}
+	out.cols = make([]col, 0, len(r.cols))
+	for i := range r.cols {
+		out.cols = append(out.cols, r.cols[i].sliceRows(lo, hi))
+	}
+	return out
+}
+
+// mergeRuns stably merges two sorted runs into a freshly allocated run; on
+// equal timestamps rows of a precede rows of b (a is the older run, so the
+// merge preserves insertion order exactly like the row engine did).
+func mergeRuns(m *measurement, a, b *colRun) *colRun {
+	na, nb := len(a.ts), len(b.ts)
+	n := na + nb
+	ts := make([]int64, 0, n)
+	// take[i] >= 0 selects row take[i] of a; take[i] < 0 selects row
+	// ^take[i] of b.
+	take := make([]int32, 0, n)
+	i, j := 0, 0
+	for i < na && j < nb {
+		if a.ts[i] <= b.ts[j] {
+			ts = append(ts, a.ts[i])
+			take = append(take, int32(i))
+			i++
+		} else {
+			ts = append(ts, b.ts[j])
+			take = append(take, int32(^j))
+			j++
+		}
+	}
+	for ; i < na; i++ {
+		ts = append(ts, a.ts[i])
+		take = append(take, int32(i))
+	}
+	for ; j < nb; j++ {
+		ts = append(ts, b.ts[j])
+		take = append(take, int32(^j))
+	}
+
+	out := &colRun{ts: ts}
+	for ci := range a.cols {
+		ca := &a.cols[ci]
+		var cb *col
+		if bi := b.colByName(ca.name); bi >= 0 {
+			cb = &b.cols[bi]
+		}
+		out.cols = append(out.cols, mergeCols(ca, cb, take, m.strs.vals))
+	}
+	for ci := range b.cols {
+		cb := &b.cols[ci]
+		if a.colByName(cb.name) < 0 {
+			out.cols = append(out.cols, mergeCols(nil, cb, take, m.strs.vals))
+		}
+	}
+	return out
+}
+
+// mergeCols gathers one field column of a merged run. ca rows are selected
+// by take values >= 0, cb rows by values < 0; a nil side contributes
+// absent rows.
+func mergeCols(ca, cb *col, take []int32, strs []string) col {
+	n := len(take)
+	pick := func(t int32) (*col, int) {
+		if t >= 0 {
+			return ca, int(t)
+		}
+		return cb, int(^t)
+	}
+	ref := ca
+	if ref == nil {
+		ref = cb
+	}
+	out := col{name: ref.name, n: n}
+
+	typed := !ref.mixed &&
+		(ca == nil || cb == nil || (!ca.mixed && !cb.mixed && ca.kind == cb.kind))
+	dense := typed && ca != nil && cb != nil && ca.present == nil && cb.present == nil
+	if !dense {
+		out.present = make([]uint64, bitWords(n))
+		for r, t := range take {
+			if c, idx := pick(t); c != nil && c.has(idx) {
+				bitSet(out.present, r)
+			}
+		}
+	}
+	if typed {
+		out.kind = ref.kind
+		switch ref.kind {
+		case lineproto.KindFloat:
+			out.floats = make([]float64, n)
+			for r, t := range take {
+				if c, idx := pick(t); c != nil && c.has(idx) {
+					out.floats[r] = c.floats[idx]
+				}
+			}
+		case lineproto.KindString:
+			out.strs = make([]uint32, n)
+			for r, t := range take {
+				if c, idx := pick(t); c != nil && c.has(idx) {
+					out.strs[r] = c.strs[idx]
+				}
+			}
+		default:
+			out.ints = make([]int64, n)
+			for r, t := range take {
+				if c, idx := pick(t); c != nil && c.has(idx) {
+					out.ints[r] = c.ints[idx]
+				}
+			}
+		}
+		return out
+	}
+	out.mixed = true
+	out.vals = make([]lineproto.Value, n)
+	for r, t := range take {
+		if c, idx := pick(t); c != nil {
+			if v, ok := c.valueAt(idx, strs); ok {
+				out.vals[r] = v
+			}
+		}
+	}
+	return out
+}
+
+// --- pending builder ---------------------------------------------------
+
+// runBuilder accumulates one series' pending rows of a batch in columnar
+// form: no per-point field map is allocated on the write path. It is
+// reused across batches (shard scratch); toRun hands its arrays off to a
+// new run, the in-order and rewrite paths bulk-copy out of it.
+type runBuilder struct {
+	ts     []int64
+	cols   []col
+	sorted bool
+}
+
+func (b *runBuilder) reset() {
+	b.ts = b.ts[:0]
+	b.cols = b.cols[:0]
+	b.sorted = true
+}
+
+// handoff clears the builder after toRun moved its arrays into a run.
+func (b *runBuilder) handoff() {
+	b.ts, b.cols = nil, nil
+	b.sorted = true
+}
+
+// colIdx finds or creates the builder column for one field. The caller
+// passes the position hint j (the field's index in the point's sorted
+// field list): consecutive points with an identical schema hit their
+// column without any search.
+func (b *runBuilder) colIdx(m *measurement, j int, name string, kind lineproto.ValueKind) int {
+	if j < len(b.cols) && b.cols[j].name == name {
+		return j
+	}
+	for i := range b.cols {
+		if b.cols[i].name == name {
+			return i
+		}
+	}
+	canon := m.internField(name, kind)
+	// Reuse the spare col slot (and its typed arrays) left by a previous
+	// batch when its shape matches; otherwise start a fresh column.
+	if len(b.cols) < cap(b.cols) {
+		b.cols = b.cols[:len(b.cols)+1]
+		c := &b.cols[len(b.cols)-1]
+		if c.name == canon && c.kind == kind {
+			c.truncate()
+			return len(b.cols) - 1
+		}
+		*c = col{name: canon, kind: kind}
+		return len(b.cols) - 1
+	}
+	b.cols = append(b.cols, col{name: canon, kind: kind})
+	return len(b.cols) - 1
+}
+
+// addPoint appends one point's timestamp and fields. fields must be the
+// point's sorted field list (lineproto.Point.AppendFields).
+func (b *runBuilder) addPoint(m *measurement, fields []lineproto.Field, tns int64) {
+	r := len(b.ts)
+	if r > 0 && b.ts[r-1] > tns {
+		b.sorted = false
+	}
+	b.ts = append(b.ts, tns)
+	for j := range fields {
+		idx := b.colIdx(m, j, fields[j].Key, fields[j].Value.Kind())
+		c := &b.cols[idx]
+		c.padTo(r)
+		c.add(fields[j].Value, &m.strs)
+	}
+}
+
+// finish pads every column to the full row count and, if the batch was
+// internally out of order, stable-sorts all columns by timestamp.
+func (b *runBuilder) finish() {
+	for i := range b.cols {
+		b.cols[i].padTo(len(b.ts))
+	}
+	if b.sorted {
+		return
+	}
+	idx := make([]int32, len(b.ts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return b.ts[idx[i]] < b.ts[idx[j]] })
+	nts := make([]int64, len(b.ts))
+	for i, j := range idx {
+		nts[i] = b.ts[j]
+	}
+	b.ts = nts
+	for i := range b.cols {
+		b.cols[i].gather(idx)
+	}
+	b.sorted = true
+}
+
+// tsEqual reports whether the builder's timestamps exactly equal ts.
+func (b *runBuilder) tsEqual(ts []int64) bool {
+	if len(b.ts) != len(ts) {
+		return false
+	}
+	if b.ts[0] != ts[0] || b.ts[len(b.ts)-1] != ts[len(ts)-1] {
+		return false
+	}
+	for i := range b.ts {
+		if b.ts[i] != ts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// toRun publishes the builder's arrays as a new run. The builder must be
+// handoff()-reset afterwards — the arrays now belong to the run.
+func (b *runBuilder) toRun() *colRun {
+	return &colRun{ts: b.ts, cols: b.cols}
+}

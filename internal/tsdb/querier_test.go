@@ -3,6 +3,7 @@ package tsdb
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -26,16 +27,31 @@ func seedQuerierStore(t testing.TB) *Store {
 	for i := 0; i < 50; i++ {
 		ts := base.Add(time.Duration(i) * time.Second)
 		for _, host := range []string{"h1", "h2"} {
+			fields := map[string]lineproto.Value{
+				"value": lineproto.Float(float64(i%7) + 0.25),
+				"ticks": lineproto.Int(9007199254740993 + int64(i)), // > 2^53
+				"busy":  lineproto.Bool(i%2 == 0),
+			}
+			if i%13 == 0 {
+				// A sparse column: most rows lack it (presence bitmaps on
+				// the columnar storage).
+				fields["note"] = lineproto.String(fmt.Sprintf("mark-%d", i))
+			}
+			if i%5 == 0 {
+				// A mixed-kind column: float on some rows, string on
+				// others (forces the mixed representation).
+				if i%2 == 0 {
+					fields["mode"] = lineproto.Float(float64(i))
+				} else {
+					fields["mode"] = lineproto.String("burst")
+				}
+			}
 			pts = append(pts,
 				lineproto.Point{
 					Measurement: "cpu",
 					Tags:        map[string]string{"hostname": host, "jobid": "42"},
-					Fields: map[string]lineproto.Value{
-						"value": lineproto.Float(float64(i%7) + 0.25),
-						"ticks": lineproto.Int(9007199254740993 + int64(i)), // > 2^53
-						"busy":  lineproto.Bool(i%2 == 0),
-					},
-					Time: ts,
+					Fields:      fields,
+					Time:        ts,
 				},
 				lineproto.Point{
 					Measurement: "likwid_mem_dp",
@@ -78,6 +94,10 @@ var equivalenceStatements = []string{
 	"SELECT max(value) FROM cpu GROUP BY hostname",
 	"SELECT count(value) FROM cpu WHERE time >= 1005000000000 AND time <= 1030000000000",
 	"SELECT percentile(value, 90) FROM cpu",
+	"SELECT note FROM cpu",
+	"SELECT note, mode FROM cpu WHERE hostname = 'h2'",
+	"SELECT count(note) FROM cpu GROUP BY time(15s)",
+	"SELECT last(mode) FROM cpu GROUP BY hostname",
 	"SELECT sum(dp_mflop_s) FROM likwid_mem_dp GROUP BY time(20s)",
 	"SELECT text FROM events WHERE jobid = '42'",
 	"SELECT value FROM ghost_measurement",

@@ -4,18 +4,20 @@ package tsdb
 //
 // Phase 1 (snapshotSelect) takes the shard lock of the queried measurement
 // in *read* mode and only long enough to collect slice headers of the
-// matching, already-sorted point runs — the write path keeps every series
-// sorted and never mutates a published backing array (see the series
-// invariants in tsdb.go), so the headers stay valid after the lock is
-// released. The time-range cut and, for raw queries, the row Limit are
-// pushed into this phase: rows a query cannot return are never snapshotted.
+// matching, already-sorted columnar runs (column.go, DESIGN.md §8) — the
+// write path keeps every series sorted and never mutates a published
+// backing array (see the series invariants in tsdb.go), so the headers
+// stay valid after the lock is released. The time-range cut and, for raw
+// queries, the row Limit are pushed into this phase: rows a query cannot
+// return are never snapshotted.
 //
 // Phase 2 (executeGroups) buckets the runs by the group-by tag combination
 // and runs filtering, window bucketing and aggregation outside any lock,
 // fanning the groups out over a bounded worker pool (DB.SetQueryWorkers,
 // StackConfig.QueryWorkers). Aggregates are computed as per-run partials
-// merged in a fixed order (agg.go), so the result is byte-identical no
-// matter how many workers run — the serial engine is simply workers=1.
+// (filled by the vectorized column folds in agg.go) merged in a fixed
+// order, so the result is byte-identical no matter how many workers run —
+// the serial engine is simply workers=1.
 
 import (
 	"context"
@@ -26,25 +28,111 @@ import (
 	"repro/internal/lineproto"
 )
 
-// seriesRun is one matching series' in-range point run, snapshotted under
-// the shard read lock.
+// colView is the read-only window one snapshotted run exposes over one
+// requested column: sliced typed-value headers plus the run's full
+// presence bitmap with the slice offset (presence bitmaps are
+// copy-on-write on the writer side, so aliasing them is safe). ok is
+// false when the run never saw the field.
+type colView struct {
+	ok    bool
+	kind  lineproto.ValueKind
+	mixed bool
+	off   int // row offset of this view within the presence bitmap
+
+	floats  []float64
+	ints    []int64
+	strs    []uint32
+	vals    []lineproto.Value
+	present []uint64 // nil = dense
+}
+
+// has reports whether local row i (0-based within the view) has a value.
+// A view over a run that never saw the field (ok == false) has no rows.
+func (v *colView) has(i int) bool {
+	return v.ok && (v.present == nil || bitGet(v.present, v.off+i))
+}
+
+// valueAt reconstructs the lineproto.Value of local row i.
+func (v *colView) valueAt(i int, strs []string) (lineproto.Value, bool) {
+	if !v.has(i) {
+		return lineproto.Value{}, false
+	}
+	if v.mixed {
+		return v.vals[i], true
+	}
+	switch v.kind {
+	case lineproto.KindFloat:
+		return lineproto.Float(v.floats[i]), true
+	case lineproto.KindInt:
+		return lineproto.Int(v.ints[i]), true
+	case lineproto.KindBool:
+		return lineproto.Bool(v.ints[i] != 0), true
+	default:
+		return lineproto.String(strs[v.strs[i]]), true
+	}
+}
+
+// firstPresent returns the first local row in [lo, hi) carrying a value,
+// or -1.
+func (v *colView) firstPresent(lo, hi int) int {
+	if v.present == nil {
+		if lo < hi {
+			return lo
+		}
+		return -1
+	}
+	for i := lo; i < hi; i++ {
+		if bitGet(v.present, v.off+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// lastPresent returns the last local row in [lo, hi) carrying a value, or
+// -1.
+func (v *colView) lastPresent(lo, hi int) int {
+	if v.present == nil {
+		if lo < hi {
+			return hi - 1
+		}
+		return -1
+	}
+	for i := hi - 1; i >= lo; i-- {
+		if bitGet(v.present, v.off+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// runSnap is one run's in-range snapshot: the timestamp window plus one
+// colView per requested column (parallel to the query column list).
+type runSnap struct {
+	ts   []int64
+	cols []colView
+}
+
+// seriesRun is one matching series' snapshotted run.
 type seriesRun struct {
 	key  string // series key: deterministic ordering across map iterations
 	tags map[string]string
-	pts  []row
+	snap runSnap
 }
 
 // selectGroup is one result series in the making: every run whose tags
 // project to the same group-by combination.
 type selectGroup struct {
 	tags map[string]string
-	runs [][]row
+	runs []runSnap
 }
 
 // snapshotSelect is phase 1: resolve the column set and snapshot the
-// matching point runs, grouped by the group-by tag projection. Only the
-// shard read lock is held, and only while slicing headers.
-func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
+// matching runs' column windows, grouped by the group-by tag projection.
+// Only the shard read lock is held, and only while slicing headers. The
+// returned strs slice resolves interned string ids (append-only on the
+// writer side, so the header stays valid outside the lock).
+func (db *DB) snapshotSelect(q Query) ([]string, []string, []*selectGroup, error) {
 	startNS, endNS := rangeNS(q.Start, q.End)
 	// Raw all-column queries return at most Limit rows per result series,
 	// and every stored row carries at least one field (Validate enforces
@@ -63,7 +151,7 @@ func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
 	m, ok := sh.measurements[q.Measurement]
 	if !ok {
 		sh.mu.RUnlock()
-		return nil, nil, ErrNoMeasurement
+		return nil, nil, nil, ErrNoMeasurement
 	}
 	cols := q.Fields
 	if len(cols) == 0 {
@@ -73,21 +161,46 @@ func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
 		}
 		sort.Strings(cols)
 	}
+	strs := m.strs.vals
 	runs := make([]seriesRun, 0, len(m.series))
 	for key, sr := range m.series {
 		if !q.Filter.matches(sr.tags) {
 			continue
 		}
 		for _, run := range sr.runs {
-			lo := sort.Search(len(run), func(i int) bool { return run[i].t >= startNS })
-			hi := sort.Search(len(run), func(i int) bool { return run[i].t > endNS })
+			lo := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] >= startNS })
+			hi := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] > endNS })
 			if lo >= hi {
 				continue
 			}
 			if rawLimit > 0 && hi-lo > rawLimit {
 				hi = lo + rawLimit
 			}
-			runs = append(runs, seriesRun{key: key, tags: sr.tags, pts: run[lo:hi]})
+			snap := runSnap{ts: run.ts[lo:hi], cols: make([]colView, len(cols))}
+			for ci, name := range cols {
+				rci := run.colByName(name)
+				if rci < 0 {
+					continue
+				}
+				rc := &run.cols[rci]
+				v := &snap.cols[ci]
+				v.ok = true
+				v.kind = rc.kind
+				v.mixed = rc.mixed
+				v.off = lo
+				v.present = rc.present
+				switch {
+				case rc.mixed:
+					v.vals = rc.vals[lo:hi]
+				case rc.kind == lineproto.KindFloat:
+					v.floats = rc.floats[lo:hi]
+				case rc.kind == lineproto.KindString:
+					v.strs = rc.strs[lo:hi]
+				default:
+					v.ints = rc.ints[lo:hi]
+				}
+			}
+			runs = append(runs, seriesRun{key: key, tags: sr.tags, snap: snap})
 		}
 	}
 	sh.mu.RUnlock()
@@ -110,14 +223,14 @@ func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
 			groups[key] = g
 			order = append(order, key)
 		}
-		g.runs = append(g.runs, r.pts)
+		g.runs = append(g.runs, r.snap)
 	}
 	sort.Strings(order)
 	ordered := make([]*selectGroup, len(order))
 	for i, key := range order {
 		ordered[i] = groups[key]
 	}
-	return cols, ordered, nil
+	return cols, strs, ordered, nil
 }
 
 // executeGroups is phase 2: aggregate each group into its result series,
@@ -127,12 +240,12 @@ func (db *DB) snapshotSelect(q Query) ([]string, []*selectGroup, error) {
 // before it starts aggregating, so cancellation is observed at
 // run-aggregation-task granularity: the task in flight finishes, the rest
 // never start.
-func (db *DB) executeGroups(ctx context.Context, q Query, cols []string, groups []*selectGroup) ([]Series, error) {
+func (db *DB) executeGroups(ctx context.Context, q Query, cols, strs []string, groups []*selectGroup) ([]Series, error) {
 	if len(groups) == 0 {
 		return nil, nil
 	}
 	out := make([]Series, len(groups))
-	run := func(i int) { out[i] = executeGroup(q, cols, groups[i]) }
+	run := func(i int) { out[i] = executeGroup(q, cols, strs, groups[i]) }
 	if len(groups) == 1 || db.queryWorkers <= 1 {
 		for i := range groups {
 			if err := ctx.Err(); err != nil {
@@ -176,36 +289,36 @@ func (db *DB) executeGroups(ctx context.Context, q Query, cols []string, groups 
 }
 
 // executeGroup renders one result series from its snapshot runs.
-func executeGroup(q Query, cols []string, g *selectGroup) Series {
+func executeGroup(q Query, cols, strs []string, g *selectGroup) Series {
 	res := Series{Name: q.Measurement, Tags: g.tags, Columns: cols}
 	switch {
 	case q.Agg == "" || q.Agg == AggNone:
-		res.Rows = emitRaw(g.runs, cols, q.Limit)
+		res.Rows = emitRaw(g.runs, cols, strs, q.Limit)
 	case q.Every > 0:
 		startNS, endNS := rangeNS(q.Start, q.End)
-		res.Rows = windowAggregateRuns(g.runs, cols, q.Agg, q.Percentile, q.Every, startNS, endNS, q.Limit)
+		res.Rows = windowAggregateRuns(g.runs, cols, strs, q.Agg, q.Percentile, q.Every, startNS, endNS, q.Limit)
 	default:
 		vals := make([]*lineproto.Value, len(cols))
-		for i, c := range cols {
+		for ci := range cols {
 			// Aggregation pushdown: one partial per run, merged in run
 			// order (count/sum/min/max/mean merge exactly; percentile
 			// merges sorted value runs). A single-run group folds straight
 			// into the final partial.
 			p := newPartial(q.Agg, q.Percentile)
 			if len(g.runs) == 1 {
-				foldRun(p, g.runs[0], c)
+				foldView(p, &g.runs[0], ci, 0, len(g.runs[0].ts), strs)
 				p.finalize()
 			} else {
-				for _, run := range g.runs {
+				for ri := range g.runs {
 					rp := newPartial(q.Agg, q.Percentile)
-					foldRun(rp, run, c)
+					foldView(rp, &g.runs[ri], ci, 0, len(g.runs[ri].ts), strs)
 					rp.finalize()
 					p.merge(rp)
 				}
 			}
 			if v, ok := p.result(); ok {
 				vv := v
-				vals[i] = &vv
+				vals[ci] = &vv
 			}
 		}
 		t := q.Start
@@ -217,38 +330,30 @@ func executeGroup(q Query, cols []string, g *selectGroup) Series {
 	return res
 }
 
-// foldRun feeds one column of a point run into a partial.
-func foldRun(p *partial, run []row, col string) {
-	for _, r := range run {
-		if v, ok := r.fields[col]; ok {
-			p.observe(r.t, v)
-		}
-	}
-}
-
 // emitRaw merges the sorted runs by timestamp (stable: lower run index
 // first on ties) and projects the requested columns, stopping as soon as
 // limit rows were produced.
-func emitRaw(runs [][]row, cols []string, limit int) []Row {
+func emitRaw(runs []runSnap, cols, strs []string, limit int) []Row {
 	var out []Row
-	emit := func(r row) bool {
+	emit := func(rs *runSnap, i int) bool {
 		vals := make([]*lineproto.Value, len(cols))
 		any := false
-		for i, c := range cols {
-			if v, ok := r.fields[c]; ok {
+		for ci := range cols {
+			if v, ok := rs.cols[ci].valueAt(i, strs); ok {
 				vv := v
-				vals[i] = &vv
+				vals[ci] = &vv
 				any = true
 			}
 		}
 		if any {
-			out = append(out, Row{Time: time.Unix(0, r.t).UTC(), Values: vals})
+			out = append(out, Row{Time: time.Unix(0, rs.ts[i]).UTC(), Values: vals})
 		}
 		return limit > 0 && len(out) >= limit
 	}
 	if len(runs) == 1 {
-		for _, r := range runs[0] {
-			if emit(r) {
+		rs := &runs[0]
+		for i := range rs.ts {
+			if emit(rs, i) {
 				break
 			}
 		}
@@ -257,20 +362,20 @@ func emitRaw(runs [][]row, cols []string, limit int) []Row {
 	idx := make([]int, len(runs))
 	for {
 		best := -1
-		for ri, run := range runs {
-			if idx[ri] >= len(run) {
+		for ri := range runs {
+			if idx[ri] >= len(runs[ri].ts) {
 				continue
 			}
-			if best < 0 || run[idx[ri]].t < runs[best][idx[best]].t {
+			if best < 0 || runs[ri].ts[idx[ri]] < runs[best].ts[idx[best]] {
 				best = ri
 			}
 		}
 		if best < 0 {
 			return out
 		}
-		r := runs[best][idx[best]]
+		i := idx[best]
 		idx[best]++
-		if emit(r) {
+		if emit(&runs[best], i) {
 			return out
 		}
 	}
@@ -278,11 +383,11 @@ func emitRaw(runs [][]row, cols []string, limit int) []Row {
 
 // minFirstT returns the earliest timestamp across the (non-empty, sorted)
 // runs.
-func minFirstT(runs [][]row) int64 {
+func minFirstT(runs []runSnap) int64 {
 	min := int64(maxInt64)
-	for _, run := range runs {
-		if len(run) > 0 && run[0].t < min {
-			min = run[0].t
+	for ri := range runs {
+		if ts := runs[ri].ts; len(ts) > 0 && ts[0] < min {
+			min = ts[0]
 		}
 	}
 	return min
@@ -291,10 +396,10 @@ func minFirstT(runs [][]row) int64 {
 // windowAggregateRuns is the partial-merging counterpart of the serial
 // windowAggregate reference: each run is bucketed into aligned windows on
 // its own (runs are sorted, so this is a single forward sweep), per-window
-// per-column partials are merged across runs in run order, and windows are
-// emitted in time order, truncated at limit. Empty windows are skipped
-// (InfluxDB fill(none)).
-func windowAggregateRuns(runs [][]row, cols []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64, limit int) []Row {
+// per-column partials are filled by vectorized column folds (agg.go) and
+// merged across runs in run order, and windows are emitted in time order,
+// truncated at limit. Empty windows are skipped (InfluxDB fill(none)).
+func windowAggregateRuns(runs []runSnap, cols, strs []string, agg AggFunc, pct float64, every time.Duration, startNS, endNS int64, limit int) []Row {
 	w := every.Nanoseconds()
 	if w <= 0 || len(runs) == 0 {
 		return nil
@@ -315,23 +420,23 @@ func windowAggregateRuns(runs [][]row, cols []string, agg AggFunc, pct float64, 
 	// the final partials and emission stops at limit — the window-side
 	// counterpart of the raw Limit pushdown.
 	if len(runs) == 1 {
-		run := runs[0]
+		rs := &runs[0]
 		var out []Row
 		i := 0
-		for i < len(run) {
-			ws := alignNS(run[i].t, w)
+		for i < len(rs.ts) {
+			ws := alignNS(rs.ts[i], w)
 			if ws < base {
 				ws = base
 			}
 			we := ws + w
 			j := i
-			for j < len(run) && run[j].t < we {
+			for j < len(rs.ts) && rs.ts[j] < we {
 				j++
 			}
 			vals := make([]*lineproto.Value, len(cols))
-			for ci, c := range cols {
+			for ci := range cols {
 				p := partial{agg: agg, pct: pct, mode: modeOf(agg)}
-				foldRun(&p, run[i:j], c)
+				foldView(&p, rs, ci, i, j, strs)
 				p.finalize()
 				if v, ok := p.result(); ok {
 					vv := v
@@ -352,16 +457,17 @@ func windowAggregateRuns(runs [][]row, cols []string, agg AggFunc, pct float64, 
 	// keeps the merge order fixed and the result independent of worker
 	// scheduling.
 	wins := map[int64][]partial{}
-	for _, run := range runs {
+	for ri := range runs {
+		rs := &runs[ri]
 		i := 0
-		for i < len(run) {
-			ws := alignNS(run[i].t, w)
+		for i < len(rs.ts) {
+			ws := alignNS(rs.ts[i], w)
 			if ws < base {
 				ws = base
 			}
 			we := ws + w
 			j := i
-			for j < len(run) && run[j].t < we {
+			for j < len(rs.ts) && rs.ts[j] < we {
 				j++
 			}
 			parts, ok := wins[ws]
@@ -372,9 +478,9 @@ func windowAggregateRuns(runs [][]row, cols []string, agg AggFunc, pct float64, 
 				}
 				wins[ws] = parts
 			}
-			for ci, c := range cols {
+			for ci := range cols {
 				rp := partial{agg: agg, pct: pct, mode: modeOf(agg)}
-				foldRun(&rp, run[i:j], c)
+				foldView(&rp, rs, ci, i, j, strs)
 				rp.finalize()
 				parts[ci].merge(&rp)
 			}

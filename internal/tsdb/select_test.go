@@ -13,8 +13,34 @@ import (
 
 // This file carries the serial reference engine — the seed implementation
 // of Select, aggregateColumn and windowAggregate, kept verbatim as a
-// test-only oracle — and the equivalence suites pinning the two-phase
-// partial-merging engine (select.go) to it.
+// test-only oracle over naive per-point row maps — and the equivalence
+// suites pinning the two-phase partial-merging columnar engine
+// (select.go, column.go) to it. The row type itself now lives here: the
+// oracle materializes rows by decoding the columnar runs, so it doubles
+// as a storage round-trip check.
+
+// row is the naive per-point representation the seed engine stored; the
+// oracle decodes columnar runs back into it.
+type row struct {
+	t      int64 // unix nanoseconds
+	fields map[string]lineproto.Value
+}
+
+// decodeRun materializes one columnar run of a measurement back into
+// rows, reconstructing every field value through the interned tables.
+func decodeRun(m *measurement, run *colRun) []row {
+	out := make([]row, len(run.ts))
+	for i := range run.ts {
+		fields := make(map[string]lineproto.Value)
+		for ci := range run.cols {
+			if v, ok := run.cols[ci].valueAt(i, m.strs.vals); ok {
+				fields[run.cols[ci].name] = v
+			}
+		}
+		out[i] = row{t: run.ts[i], fields: fields}
+	}
+	return out
+}
 
 // percentile is percentileSorted over an unsorted input (copied, so the
 // input is not modified).
@@ -230,10 +256,10 @@ func referenceSelect(db *DB, q Query) ([]Series, error) {
 		var any bool
 		var rows []row
 		for _, run := range sr.runs {
-			lo := sort.Search(len(run), func(i int) bool { return run[i].t >= startNS })
-			hi := sort.Search(len(run), func(i int) bool { return run[i].t > endNS })
+			lo := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] >= startNS })
+			hi := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] > endNS })
 			if lo < hi {
-				rows = append(rows, run[lo:hi]...)
+				rows = append(rows, decodeRun(m, run)[lo:hi]...)
 				any = true
 			}
 		}

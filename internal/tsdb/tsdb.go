@@ -28,23 +28,25 @@
 // (or Store.ShardsPerDB for databases created through a Store).
 //
 // The batched entry point is WriteBatch: it validates the whole batch,
-// splits it per shard, and inside each shard groups consecutive points of
-// the same series into an append buffer so the per-point cost is one row
-// append instead of two map lookups and a key build. Writes keep every
-// series sorted (out-of-order batches are merged into freshly allocated
-// arrays), so published point runs are immutable.
+// splits it per shard, and inside each shard appends consecutive points of
+// the same series into a columnar run builder (column.go, DESIGN.md §8) —
+// one sorted timestamp column plus one typed value column per field, no
+// per-point field map allocation. Writes keep every series sorted
+// (out-of-order batches open new runs that compaction merges into freshly
+// allocated columns), so published point runs are immutable to readers.
 //
 // # Read path
 //
 // DB.Select runs on a two-phase, lock-light engine (select.go, DESIGN.md
 // §6): phase 1 holds the shard *read* lock only while snapshotting slice
-// headers of the matching point runs — with the time range and, for raw
+// headers of the matching columnar runs — with the time range and, for raw
 // queries, the row Limit pushed into the snapshot — and phase 2 buckets,
 // groups and aggregates entirely outside the lock, fanning result groups
 // out over a bounded worker pool (SetQueryWorkers) and merging per-run
-// partial aggregates (agg.go). A small TTL'd query-result cache (cache.go)
-// absorbs the dashboard viewer's repeated panel refreshes and is
-// invalidated per measurement on write.
+// partial aggregates (agg.go) computed by vectorized sweeps over the
+// typed columns. A small TTL'd query-result cache (cache.go) absorbs the
+// dashboard viewer's repeated panel refreshes and is invalidated per
+// measurement on write.
 package tsdb
 
 import (
@@ -165,7 +167,8 @@ type DB struct {
 type shard struct {
 	mu           sync.RWMutex
 	measurements map[string]*measurement
-	scratch      []row // reusable append buffer, guarded by mu
+	bld          runBuilder        // reusable columnar pending buffer, guarded by mu
+	fieldBuf     []lineproto.Field // reusable sorted-fields scratch, guarded by mu
 }
 
 // DefaultShards is the shard count used when none is configured: one lock
@@ -248,41 +251,53 @@ type measurement struct {
 	name   string
 	series map[string]*series
 	fields map[string]lineproto.ValueKind
+	names  map[string]string // interned field-name strings (one per schema field)
+	strs   strTable          // interned string field values (column.go)
+}
+
+// internField returns the canonical (interned) copy of a field name,
+// registering it in the measurement schema on first sight. Column headers
+// across every run and series of the measurement then share one string
+// allocation per field name instead of retaining per-batch parse strings.
+func (m *measurement) internField(name string, kind lineproto.ValueKind) string {
+	if canon, ok := m.names[name]; ok {
+		return canon
+	}
+	m.names[name] = name
+	m.fields[name] = kind
+	return name
 }
 
 // series holds the point runs of one tag set, log-structured: a list of
-// individually sorted runs, ordered by creation. Invariants the lock-light
-// read path (select.go) relies on:
+// individually sorted columnar runs (column.go), ordered by creation.
+// Invariants the lock-light read path (select.go) relies on:
 //
-//   - every run is sorted by timestamp,
+//   - every run's ts column is sorted,
 //   - a backing array that has been published in runs is never reordered
-//     or overwritten in place: in-order writes append to the newest run
-//     (growing past len is invisible to readers holding shorter slice
-//     headers), out-of-order writes start a new run, compaction merges
-//     runs into freshly allocated arrays, and pruning copies survivors.
+//     or overwritten in place: in-order writes append to the newest run's
+//     columns (growing past len is invisible to readers holding shorter
+//     slice headers), presence bitmaps are copy-on-write, out-of-order
+//     writes start a new run, compaction merges runs into freshly
+//     allocated columns, pruning copies survivors, and the
+//     same-timestamp rewrite path swaps whole value arrays.
 //
-// A reader that snapshotted run sub-slices under the shard RLock may
+// A reader that snapshotted column sub-slices under the shard RLock may
 // therefore keep reading them after releasing the lock. Compaction keeps
 // run sizes roughly geometric, so a series holds O(log n) runs and the
 // write amplification of out-of-order ingest stays O(log n) per point
 // instead of the O(n) a single always-sorted array would cost.
 type series struct {
 	tags map[string]string // immutable after creation
-	runs [][]row
+	runs []*colRun
 }
 
 // totalPoints is the row count across all runs.
 func (sr *series) totalPoints() int {
 	n := 0
 	for _, run := range sr.runs {
-		n += len(run)
+		n += len(run.ts)
 	}
 	return n
-}
-
-type row struct {
-	t      int64                      // unix nanoseconds
-	fields map[string]lineproto.Value // immutable after insert
 }
 
 // seriesKey builds the canonical identity of a tag set.
@@ -305,6 +320,23 @@ func seriesKey(tags map[string]string) string {
 		b.WriteString(tags[k])
 	}
 	return b.String()
+}
+
+// tagsEqual reports whether two tag maps hold the same pairs. It is the
+// per-point fast path of the series-key cache in writeBatch: comparing
+// maps costs two lookups per tag, while seriesKey sorts keys and builds a
+// fresh string — batches overwhelmingly repeat one tag set, so the key is
+// built once per series run instead of once per point.
+func tagsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
 }
 
 // WritePoint inserts one point. Points without a timestamp get the current
@@ -380,48 +412,68 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 }
 
 // writeBatch inserts pre-validated points under one lock acquisition.
-// Consecutive points of the same series are collected in an append buffer
-// and committed with a single bulk append.
+// Consecutive points of the same series are appended into the shard's
+// reusable columnar builder (column.go) — no per-point field map is
+// allocated — and committed per series run:
+//
+//   - in-order blocks (the agent hot path) bulk-append onto the newest
+//     run's columns,
+//   - a block whose timestamps exactly rewrite the newest run merges
+//     field-by-field with last-write-wins (InfluxDB duplicate-point
+//     semantics) instead of opening a run and paying compaction,
+//   - anything else opens a new run and compacts similar-sized runs.
 func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	var (
-		curM    *measurement
-		curName string
-		curS    *series
-		curKey  string
+		curM     *measurement
+		curName  string
+		curS     *series
+		curKey   string
+		prevTags map[string]string
 	)
-	pending := sh.scratch[:0]
-	pendingSorted := true
+	b := &sh.bld
+	b.reset()
 	commit := func() {
-		if curS == nil || len(pending) == 0 {
+		if curS == nil || len(b.ts) == 0 {
 			return
 		}
-		if !pendingSorted {
-			sort.SliceStable(pending, func(i, j int) bool { return pending[i].t < pending[j].t })
-		}
+		b.finish()
 		if n := len(curS.runs); n > 0 {
 			last := curS.runs[n-1]
-			if m := len(last); m > 0 && last[m-1].t <= pending[0].t {
-				// In-order arrival (the hot path): extend the newest run.
-				curS.runs[n-1] = append(last, pending...)
-				pending = pending[:0]
-				pendingSorted = true
-				return
+			if m := len(last.ts); m > 0 {
+				// The exact-match check precedes the in-order check: a
+				// run whose timestamps are all equal (e.g. a single
+				// point) satisfies both, and re-writing it must upsert,
+				// not accumulate duplicates.
+				if b.tsEqual(last.ts) {
+					// Same-timestamp rewrite: update the run's columns
+					// copy-on-write instead of opening a run and paying
+					// compaction (EXPERIMENTS.md, experiment O3).
+					last.rewriteBlock(b, curM)
+					b.reset()
+					return
+				}
+				if last.ts[m-1] <= b.ts[0] && !pastSparseRollLimit(last, b) {
+					// In-order arrival (the hot path): extend the newest
+					// run's columns with one bulk append per field.
+					last.appendBlock(b, curM)
+					b.reset()
+					return
+				}
 			}
 		}
-		// Out-of-order arrival: open a new run (copied out of the scratch
-		// buffer), then compact runs of similar size so the run count stays
-		// logarithmic. Merging allocates fresh arrays, so readers holding
+		// Out-of-order arrival: the builder's arrays become a new run, then
+		// runs of similar size are compacted so the run count stays
+		// logarithmic. Merging allocates fresh columns, so readers holding
 		// snapshots of the old runs are unaffected.
-		curS.runs = append(curS.runs, append([]row(nil), pending...))
-		for n := len(curS.runs); n >= 2 && len(curS.runs[n-2]) <= 2*len(curS.runs[n-1]); n = len(curS.runs) {
-			merged := mergeRows(curS.runs[n-2], curS.runs[n-1])
+		curS.runs = append(curS.runs, b.toRun())
+		b.handoff()
+		for n := len(curS.runs); n >= 2 && len(curS.runs[n-2].ts) <= 2*len(curS.runs[n-1].ts); n = len(curS.runs) {
+			merged := mergeRuns(curM, curS.runs[n-2], curS.runs[n-1])
 			curS.runs = append(curS.runs[:n-2], merged)
 		}
-		pending = pending[:0]
-		pendingSorted = true
 	}
 
 	newest := int64(minInt64)
@@ -439,42 +491,38 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 					name:   curName,
 					series: make(map[string]*series),
 					fields: make(map[string]lineproto.ValueKind),
+					names:  make(map[string]string),
 				}
 				sh.measurements[curName] = m
 			}
 			curM = m
 		}
-		key := seriesKey(p.Tags)
-		if curS == nil || key != curKey {
-			commit()
-			curKey = key
-			sr, ok := curM.series[key]
-			if !ok {
-				tags := make(map[string]string, len(p.Tags))
-				for k, v := range p.Tags {
-					tags[k] = v
+		if curS == nil || !tagsEqual(p.Tags, prevTags) {
+			key := seriesKey(p.Tags)
+			prevTags = p.Tags
+			if curS == nil || key != curKey {
+				commit()
+				curKey = key
+				sr, ok := curM.series[key]
+				if !ok {
+					tags := make(map[string]string, len(p.Tags))
+					for k, v := range p.Tags {
+						tags[k] = v
+					}
+					sr = &series{tags: tags}
+					curM.series[key] = sr
 				}
-				sr = &series{tags: tags}
-				curM.series[key] = sr
+				curS = sr
 			}
-			curS = sr
 		}
-		fields := make(map[string]lineproto.Value, len(p.Fields))
-		for k, v := range p.Fields {
-			fields[k] = v
-			curM.fields[k] = v.Kind()
-		}
+		sh.fieldBuf = p.AppendFields(sh.fieldBuf[:0])
 		ns := p.Time.UnixNano()
-		if n := len(pending); n > 0 && pending[n-1].t > ns {
-			pendingSorted = false
-		}
-		pending = append(pending, row{t: ns, fields: fields})
+		b.addPoint(curM, sh.fieldBuf, ns)
 		if ns > newest {
 			newest = ns
 		}
 	}
 	commit()
-	sh.scratch = pending[:0]
 
 	// Publish the newest timestamp for retention sweeps (atomic max).
 	for {
@@ -483,24 +531,6 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 			break
 		}
 	}
-}
-
-// mergeRows stably merges two sorted row runs into a freshly allocated
-// array; on equal timestamps rows of a precede rows of b.
-func mergeRows(a, b []row) []row {
-	out := make([]row, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].t <= b[j].t {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
 }
 
 // maybePrune runs a retention sweep over every shard, at most once per
@@ -540,16 +570,16 @@ func (sh *shard) pruneLocked(beforeNS int64) bool {
 			changed := false
 			kept := sr.runs[:0:0]
 			for _, run := range sr.runs {
-				idx := sort.Search(len(run), func(i int) bool { return run[i].t >= beforeNS })
+				idx := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] >= beforeNS })
 				switch {
 				case idx == 0:
 					kept = append(kept, run)
-				case idx == len(run):
+				case idx == len(run.ts):
 					changed = true
 				default:
 					// Copy the survivors: readers may still hold snapshots
-					// of the old backing array.
-					kept = append(kept, append([]row(nil), run[idx:]...))
+					// of the old backing arrays.
+					kept = append(kept, run.sliceRun(idx, len(run.ts)))
 					changed = true
 				}
 			}
@@ -760,11 +790,11 @@ func (db *DB) SelectContext(ctx context.Context, q Query) ([]Series, error) {
 	if ok {
 		return res, nil
 	}
-	cols, groups, err := db.snapshotSelect(q)
+	cols, strs, groups, err := db.snapshotSelect(q)
 	if err != nil {
 		return nil, err
 	}
-	out, err := db.executeGroups(ctx, q, cols, groups)
+	out, err := db.executeGroups(ctx, q, cols, strs, groups)
 	if err != nil {
 		return nil, err
 	}
