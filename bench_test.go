@@ -15,6 +15,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/stream"
 	"repro/internal/tsdb"
+	"repro/internal/tsdb/durable"
 	"repro/internal/usermetric"
 	"repro/internal/workload"
 )
@@ -951,4 +954,148 @@ func BenchmarkX1_StreamAnalyzerHandle(b *testing.B) {
 	if processed == 0 {
 		b.Fatal("nothing processed")
 	}
+}
+
+// --- D1..D3: durable storage engine (DESIGN.md §9) -------------------------
+
+// durBatch builds one 100-point in-order agent flush (float + int fields)
+// starting at batch index i.
+func durBatch(i int) []lineproto.Point {
+	pts := make([]lineproto.Point, 0, 100)
+	base := int64(1600000000_000000000) + int64(i)*100*int64(time.Second)
+	for j := 0; j < 100; j++ {
+		pts = append(pts, lineproto.Point{
+			Measurement: "cpu",
+			Tags:        map[string]string{"hostname": "node01"},
+			Fields: map[string]lineproto.Value{
+				"user": lineproto.Float(float64(i*100 + j)),
+				"ctx":  lineproto.Int(int64(j)),
+			},
+			Time: time.Unix(0, base+int64(j)*int64(time.Second)),
+		})
+	}
+	return pts
+}
+
+var durPolicies = []durable.FsyncPolicy{durable.FsyncOff, durable.FsyncEveryInterval, durable.FsyncPerBatch}
+
+// BenchmarkD1_WALAppend prices one WAL append of an encoded 100-point
+// batch under each fsync policy — the durability tax on the
+// acknowledgement path, isolated from the in-memory write.
+func BenchmarkD1_WALAppend(b *testing.B) {
+	payload := durable.AppendBatch(nil, durBatch(0), time.Now().UnixNano())
+	for _, pol := range durPolicies {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			w, err := durable.OpenWAL(b.TempDir(), 0, durable.Options{Fsync: pol}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkD2_IngestDurable measures WriteBatch end to end — encode, WAL
+// append, columnar apply — against the in-memory baseline, one sub-bench
+// per fsync policy. The closing sub-metric diskB/point is the checkpoint
+// footprint after a clean Close.
+func BenchmarkD2_IngestDurable(b *testing.B) {
+	run := func(b *testing.B, db *tsdb.DB) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.WriteBatch(durBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+	}
+	b.Run("volatile", func(b *testing.B) {
+		db := tsdb.NewDB("bench")
+		defer db.Close()
+		run(b, db)
+	})
+	for _, pol := range durPolicies {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := tsdb.OpenStore(tsdb.StoreOptions{Durability: tsdb.Durability{Dir: dir, Fsync: pol}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := st.OpenDatabase("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, db)
+			if err := st.Close(); err != nil { // final checkpoint
+				b.Fatal(err)
+			}
+			var disk int64
+			_ = filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+				if err != nil || d.IsDir() {
+					return err
+				}
+				if info, err := d.Info(); err == nil {
+					disk += info.Size()
+				}
+				return nil
+			})
+			b.ReportMetric(float64(disk)/float64(100*b.N), "diskB/point")
+		})
+	}
+}
+
+// BenchmarkD3_Recovery measures startup recovery of a 100k-point
+// database in points/s replayed: once from the raw WAL (crash, no
+// checkpoint — the worst case) and once from a clean checkpoint.
+func BenchmarkD3_Recovery(b *testing.B) {
+	const batches = 1000 // x100 points
+	seed := func(b *testing.B, clean bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		st, err := tsdb.OpenStore(tsdb.StoreOptions{Durability: tsdb.Durability{Dir: dir, Fsync: durable.FsyncOff}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := st.OpenDatabase("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < batches; i++ {
+			if err := db.WriteBatch(durBatch(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if clean {
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			st.Abort()
+		}
+		return dir
+	}
+	run := func(b *testing.B, dir string) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := tsdb.OpenStore(tsdb.StoreOptions{Durability: tsdb.Durability{Dir: dir, Fsync: durable.FsyncOff}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := st.DB("bench").PointCount(); got != 100*batches {
+				b.Fatalf("recovered %d points, want %d", got, 100*batches)
+			}
+			st.Abort() // leave the directory exactly as found
+		}
+		b.ReportMetric(float64(100*batches*b.N)/b.Elapsed().Seconds(), "points/s")
+	}
+	b.Run("wal-replay", func(b *testing.B) { run(b, seed(b, false)) })
+	b.Run("checkpoint", func(b *testing.B) { run(b, seed(b, true)) })
 }

@@ -5,20 +5,34 @@
 // The store is shard-partitioned per database for multi-core ingest; the
 // -shards flag overrides the lock-shard count (default: GOMAXPROCS).
 //
+// With -data-dir the store is durable (DESIGN.md §9): batches are logged
+// to a write-ahead log before they are acknowledged (-fsync selects the
+// sync policy), checkpoints persist the columnar state, and a restart
+// recovers every database in the directory. SIGINT/SIGTERM shut the
+// server down gracefully: in-flight requests finish, the WAL is flushed
+// and a final checkpoint is written.
+//
 // Usage:
 //
-//	lms-db -addr :8086 -db lms -retention 720h -shards 8
+//	lms-db -addr :8086 -db lms -retention 720h -shards 8 \
+//	       -data-dir /var/lib/lms-db -fsync batch
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/tsdb"
+	"repro/internal/tsdb/durable"
 )
 
 func main() { cli.Main("lms-db", run) }
@@ -29,22 +43,73 @@ func run(args []string, stdout io.Writer) error {
 	dbName := fs.String("db", "lms", "database to create at startup")
 	retention := fs.Duration("retention", 0, "drop data older than this (0 = keep forever)")
 	shards := fs.Int("shards", 0, "lock shards per database (0 = GOMAXPROCS)")
+	dataDir := fs.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+	fsync := fs.String("fsync", "batch", "WAL fsync policy with -data-dir: batch, interval or off")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
+	policy, err := durable.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return cli.UsageErr(fs, "%v", err)
+	}
 
-	store := tsdb.NewStore()
-	store.ShardsPerDB = *shards
-	db := store.CreateDatabase(*dbName)
+	store, err := tsdb.OpenStore(tsdb.StoreOptions{
+		ShardsPerDB: *shards,
+		Durability:  tsdb.Durability{Dir: *dataDir, Fsync: policy},
+	})
+	if err != nil {
+		return err
+	}
+	db, err := store.OpenDatabase(*dbName)
+	if err != nil {
+		return err
+	}
 	if *retention > 0 {
-		db.SetRetention(*retention)
+		// The startup database and every database recovered from the data
+		// directory age out on the same window.
+		for _, name := range store.Databases() {
+			store.DB(name).SetRetention(*retention)
+		}
 	}
 	handler := tsdb.NewHandler(store)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		_ = store.Close()
 		return err
 	}
 	fmt.Fprintf(stdout, "lms-db: serving database %q (%d shards) on %s\n",
 		*dbName, db.ShardCount(), ln.Addr())
-	return http.Serve(ln, handler)
+	if *dataDir != "" {
+		fmt.Fprintf(stdout, "lms-db: durable storage in %s (fsync=%s, %d databases recovered)\n",
+			*dataDir, policy, len(store.Databases()))
+	}
+
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
+	// accepting, let in-flight /write and /query requests finish, flush
+	// the WAL and write the final checkpoint. The final checkpoint must
+	// not race an in-flight /write, hence Shutdown strictly before
+	// store.Close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		_ = store.Close()
+		return err
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			_ = store.Close()
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "lms-db: shut down")
+		return nil
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/pubsub"
 	"repro/internal/router"
 	"repro/internal/tsdb"
+	"repro/internal/tsdb/durable"
 )
 
 // StackConfig configures a full LMS deployment.
@@ -31,6 +32,15 @@ type StackConfig struct {
 	PubSubHWM int
 	// Retention prunes data older than this from the primary DB (0 = keep).
 	Retention time.Duration
+	// DataDir enables the durable storage engine (WAL + on-disk columnar
+	// checkpoints, DESIGN.md §9): every database lives under this
+	// directory and survives restarts. Empty keeps the stack in memory
+	// only. Call Stack.Close on shutdown so the final checkpoint lands.
+	DataDir string
+	// FsyncPolicy selects when WAL appends reach stable storage when
+	// DataDir is set: "batch" (default; sync before acknowledging every
+	// batch), "interval" or "off".
+	FsyncPolicy string
 	// TSDBShards is the lock-shard count per database (0 = GOMAXPROCS).
 	TSDBShards int
 	// QueryWorkers bounds the per-Select aggregation fan-out of the read
@@ -67,19 +77,34 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if cfg.DBName == "" {
 		cfg.DBName = "lms"
 	}
-	store := tsdb.NewStore()
-	store.ShardsPerDB = cfg.TSDBShards
-	store.QueryWorkersPerDB = cfg.QueryWorkers
-	db := store.CreateDatabase(cfg.DBName)
+	fsync, err := durable.ParseFsyncPolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	store, err := tsdb.OpenStore(tsdb.StoreOptions{
+		ShardsPerDB:       cfg.TSDBShards,
+		QueryWorkersPerDB: cfg.QueryWorkers,
+		Durability:        tsdb.Durability{Dir: cfg.DataDir, Fsync: fsync},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Past this point a constructor failure must close the store, or the
+	// recovered databases' WAL descriptors (and the directory lock) leak.
+	db, err := store.OpenDatabase(cfg.DBName)
+	if err != nil {
+		_ = store.Close()
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if cfg.Retention > 0 {
 		db.SetRetention(cfg.Retention)
 	}
 
 	var pub *pubsub.Publisher
 	if cfg.PubSubAddr != "" {
-		var err error
 		pub, err = pubsub.NewPublisher(cfg.PubSubAddr, cfg.PubSubHWM)
 		if err != nil {
+			_ = store.Close()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -99,6 +124,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		if pub != nil {
 			_ = pub.Close()
 		}
+		_ = store.Close()
 		return nil, err
 	}
 
@@ -133,10 +159,17 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 // DBName returns the primary database name.
 func (s *Stack) DBName() string { return s.cfg.DBName }
 
-// Close releases network resources (the publisher).
+// Close releases network resources (the publisher) and closes the store:
+// on a durable stack (StackConfig.DataDir) that flushes the WAL and
+// writes the final checkpoint, so skipping Close risks replaying the WAL
+// tail on the next start instead of loading one clean checkpoint.
 func (s *Stack) Close() error {
+	var perr error
 	if s.Publisher != nil {
-		return s.Publisher.Close()
+		perr = s.Publisher.Close()
 	}
-	return nil
+	if serr := s.Store.Close(); serr != nil {
+		return serr
+	}
+	return perr
 }

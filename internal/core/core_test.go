@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/hpm"
 	"repro/internal/jobsched"
+	"repro/internal/lineproto"
 	"repro/internal/tsdb"
 	"repro/internal/workload"
 )
@@ -308,5 +309,70 @@ func TestSimulationPatternClassification(t *testing.T) {
 					rep.Classification.Pattern, c.want, rep.Classification.Path)
 			}
 		})
+	}
+}
+
+// TestStackDurableRestart: a stack built with DataDir survives its own
+// restart — the router-ingested metrics written before Close (final
+// checkpoint) answer queries after a fresh NewStack on the same
+// directory, including the per-user duplicate databases.
+func TestStackDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StackConfig{DataDir: dir, FsyncPolicy: "batch", PerUserDBs: true}
+	stack, err := NewStack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []lineproto.Point{
+		{Measurement: "cpu", Tags: map[string]string{"hostname": "n1"},
+			Fields: map[string]lineproto.Value{"percent": lineproto.Float(42)},
+			Time:   time.Unix(1600000000, 0)},
+		{Measurement: "cpu", Tags: map[string]string{"hostname": "n1"},
+			Fields: map[string]lineproto.Value{"percent": lineproto.Float(43)},
+			Time:   time.Unix(1600000001, 0)},
+	}
+	if err := stack.DB.WriteBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	userDB, err := stack.Store.OpenDatabase("user_alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := userDB.WriteBatch(pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	wantPrimary := stack.DB.PointCount()
+	wantUser := userDB.PointCount()
+	if wantPrimary != 2 || wantUser != 1 {
+		t.Fatalf("seed counts: primary %d, user %d", wantPrimary, wantUser)
+	}
+	if err := stack.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stack2, err := NewStack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack2.Close()
+	if got := stack2.DB.PointCount(); got != wantPrimary {
+		t.Fatalf("primary PointCount after restart = %d, want %d", got, wantPrimary)
+	}
+	user := stack2.Store.DB("user_alice")
+	if user == nil {
+		t.Fatal("per-user database not recovered")
+	}
+	if got := user.PointCount(); got != wantUser {
+		t.Fatalf("user PointCount after restart = %d, want %d", got, wantUser)
+	}
+	res, err := stack2.DB.Select(tsdb.Query{Measurement: "cpu"})
+	if err != nil || len(res) == 0 {
+		t.Fatalf("Select after restart: %v, %v", res, err)
+	}
+}
+
+func TestStackBadFsyncPolicy(t *testing.T) {
+	if _, err := NewStack(StackConfig{DataDir: t.TempDir(), FsyncPolicy: "bogus"}); err == nil {
+		t.Fatal("NewStack accepted a bogus fsync policy")
 	}
 }

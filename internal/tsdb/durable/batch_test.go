@@ -1,0 +1,83 @@
+package durable
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lineproto"
+)
+
+func samplePoints() []lineproto.Point {
+	return []lineproto.Point{
+		{
+			Measurement: "cpu",
+			Tags:        map[string]string{"hostname": "node01", "cpu": "3"},
+			Fields: map[string]lineproto.Value{
+				"user":   lineproto.Float(42.5),
+				"ctx":    lineproto.Int(-123456789),
+				"idle":   lineproto.Bool(true),
+				"state":  lineproto.String("running, \"ok\""),
+				"uptime": lineproto.Int(0),
+			},
+			Time: time.Unix(1500000000, 12345).UTC(),
+		},
+		{
+			Measurement: "job_events",
+			Fields:      map[string]lineproto.Value{"msg": lineproto.String("")},
+			Time:        time.Unix(0, -42).UTC(), // pre-epoch timestamps survive
+		},
+		{
+			Measurement: "mem",
+			Tags:        map[string]string{"hostname": "node02"},
+			Fields:      map[string]lineproto.Value{"used_kb": lineproto.Float(1 << 30)},
+			// Zero time: encoded with the server timestamp.
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	pts := samplePoints()
+	nowNS := int64(1700000000_000000000)
+	payload := AppendBatch(nil, pts, nowNS)
+	got, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("decoded %d points, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		want := pts[i]
+		if want.Time.IsZero() {
+			want.Time = time.Unix(0, nowNS).UTC()
+		}
+		if !got[i].Equal(want) {
+			t.Errorf("point %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestBatchDecodeRejectsTruncation(t *testing.T) {
+	payload := AppendBatch(nil, samplePoints(), 0)
+	// Every strict prefix must fail loudly, never panic or fabricate data.
+	for cut := 0; cut < len(payload); cut++ {
+		if pts, err := DecodeBatch(payload[:cut]); err == nil {
+			// A prefix that happens to decode cleanly must at least not
+			// invent trailing points.
+			if len(pts) >= len(samplePoints()) {
+				t.Fatalf("cut at %d decoded %d points without error", cut, len(pts))
+			}
+		}
+	}
+	if _, err := DecodeBatch(append(payload, 0xff)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	payload := AppendBatch(nil, nil, 0)
+	pts, err := DecodeBatch(payload)
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty batch: %v, %v", pts, err)
+	}
+}

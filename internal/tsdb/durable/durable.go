@@ -1,0 +1,100 @@
+// Package durable implements the on-disk persistence formats of the LMS
+// time-series database (DESIGN.md §9): a segmented, CRC32-framed
+// write-ahead log for the hot ingest path and immutable columnar
+// checkpoint files for the bulk of the data. The design follows the
+// InfluxDB storage engine the paper's stack persists into (WAL + read-only
+// TSM files, DESIGN.md §2): every acknowledged write first lands in the
+// log, and a background checkpoint periodically serializes the in-memory
+// column blocks so the log can be truncated.
+//
+// The package is deliberately storage-only: it knows the file formats and
+// nothing about shards, series maps or query engines. The tsdb package
+// owns the translation between its in-memory columnar runs and the
+// neutral Snapshot structs defined here (tsdb/persist.go), and drives the
+// WAL/checkpoint lifecycle:
+//
+//   - WAL (wal.go): append-only segments of length+CRC32 framed records,
+//     rotated by size. A record is one binary-encoded point batch
+//     (batch.go). Fsync behaviour is configurable per FsyncPolicy.
+//   - Checkpoints (snapshot.go): one self-contained file holding every
+//     measurement's column blocks — sorted timestamp columns as varint
+//     deltas, typed value columns, interned string tables, presence
+//     bitmaps. Written to a temp file, fsynced, atomically renamed.
+//     The file name carries the WAL segment index recovery must replay
+//     from; older segments are deleted after the rename.
+//   - Recovery: load the newest valid checkpoint, then replay the WAL
+//     tail record by record. A torn final record (crash mid-append) is
+//     detected by its CRC/length frame and the log is truncated at the
+//     first bad frame — everything acknowledged before it survives.
+package durable
+
+import (
+	"fmt"
+	"time"
+)
+
+// FsyncPolicy selects when the WAL fsyncs appended records to stable
+// storage. The zero value is the safest (sync every batch).
+type FsyncPolicy uint8
+
+const (
+	// FsyncPerBatch syncs after every appended batch before the write is
+	// acknowledged: no acknowledged point is ever lost, at the price of
+	// one fsync per ingest round trip.
+	FsyncPerBatch FsyncPolicy = iota
+	// FsyncEveryInterval syncs on a background timer (Options.FsyncInterval):
+	// a crash loses at most one interval of acknowledged writes, the
+	// ingest path never blocks on the disk.
+	FsyncEveryInterval
+	// FsyncOff never syncs explicitly; the OS flushes the page cache at
+	// its leisure. A machine crash may lose recent writes, a process
+	// crash loses nothing (the data sits in the kernel).
+	FsyncOff
+)
+
+// String returns the canonical flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncPerBatch:
+		return "batch"
+	case FsyncEveryInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseFsyncPolicy parses the flag spellings of the fsync policies.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "batch", "always", "per-batch":
+		return FsyncPerBatch, nil
+	case "interval":
+		return FsyncEveryInterval, nil
+	case "off", "none", "never":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want batch, interval or off)", s)
+	}
+}
+
+// Options configure a WAL. The zero value selects per-batch fsync, a
+// 100ms sync interval (unused unless FsyncEveryInterval) and 8 MiB
+// segments.
+type Options struct {
+	Fsync         FsyncPolicy
+	FsyncInterval time.Duration // FsyncEveryInterval period; <=0 selects 100ms
+	SegmentBytes  int64         // rotate segments past this size; <=0 selects 8 MiB
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}

@@ -1,0 +1,526 @@
+package durable
+
+// Checkpoint files: one immutable, self-contained serialization of a
+// database's columnar state (the on-disk analogue of InfluxDB's read-only
+// TSM files). The tsdb layer converts its in-memory runs to and from the
+// neutral Snapshot structs below; this file owns the bytes.
+//
+// Layout:
+//
+//	[8B magic "LMSCKP1\n"][payload][4B CRC32 (IEEE) of payload]
+//
+// The payload nests measurements → series → runs → columns. Sorted
+// timestamp columns are delta-encoded as uvarints after a fixed 64-bit
+// anchor (metric samples arrive at near-constant intervals, so deltas are
+// 1-5 bytes instead of 8), integer columns are zigzag varints, float
+// columns raw 64-bit words, string columns varint ids into the
+// measurement's interned table. The file is written to a temp name,
+// fsynced and atomically renamed to
+//
+//	checkpoint-%08d.snap
+//
+// where the number is the WAL segment recovery must replay from: state in
+// segments below it is captured by the checkpoint, so they are deleted
+// once the rename lands. Load walks the checkpoints newest-first and
+// skips files that fail the CRC (a crash can only tear the temp file, but
+// media corruption of a renamed checkpoint must not take recovery down
+// with it when an older valid checkpoint plus a longer WAL tail exists).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lineproto"
+)
+
+const snapMagic = "LMSCKP1\n"
+
+// Snapshot is the neutral, format-owning image of one database.
+type Snapshot struct {
+	Measurements []Measurement
+}
+
+// Measurement is one measurement's schema, interned strings and series.
+type Measurement struct {
+	Name   string
+	Fields []FieldSchema
+	Strs   []string // interned string field values; columns hold ids
+	Series []Series
+}
+
+// FieldSchema records one field of the measurement schema.
+type FieldSchema struct {
+	Name string
+	Kind lineproto.ValueKind
+}
+
+// Series is one tag set's run list, in creation (log-structured) order.
+type Series struct {
+	Tags map[string]string
+	Runs []Run
+}
+
+// Run is one sorted columnar run: a timestamp column plus one column per
+// field present in the run.
+type Run struct {
+	Ts   []int64
+	Cols []Col
+}
+
+// Col is one field's value column. Exactly one value arm is populated:
+// Floats (KindFloat), Ints (KindInt and KindBool), StrIDs (KindString,
+// ids into Measurement.Strs) or Vals when Mixed. A nil Present bitmap
+// means every row carries a value.
+type Col struct {
+	Name    string
+	Kind    lineproto.ValueKind
+	Mixed   bool
+	Present []uint64
+	Floats  []float64
+	Ints    []int64
+	StrIDs  []uint32
+	Vals    []lineproto.Value
+}
+
+func snapshotName(seg int) string { return fmt.Sprintf("checkpoint-%08d.snap", seg) }
+
+func parseSnapshotName(name string) (int, bool) {
+	var idx int
+	if n, err := fmt.Sscanf(name, "checkpoint-%08d.snap", &idx); n != 1 || err != nil {
+		return 0, false
+	}
+	if snapshotName(idx) != name {
+		return 0, false
+	}
+	return idx, true
+}
+
+// --- encoding ----------------------------------------------------------
+
+func appendSnapshot(dst []byte, s *Snapshot) []byte {
+	dst = appendUvarint(dst, uint64(len(s.Measurements)))
+	for mi := range s.Measurements {
+		m := &s.Measurements[mi]
+		dst = appendString(dst, m.Name)
+		dst = appendUvarint(dst, uint64(len(m.Fields)))
+		for _, f := range m.Fields {
+			dst = appendString(dst, f.Name)
+			dst = append(dst, byte(f.Kind))
+		}
+		dst = appendUvarint(dst, uint64(len(m.Strs)))
+		for _, v := range m.Strs {
+			dst = appendString(dst, v)
+		}
+		dst = appendUvarint(dst, uint64(len(m.Series)))
+		for si := range m.Series {
+			dst = appendSeries(dst, &m.Series[si])
+		}
+	}
+	return dst
+}
+
+func appendSeries(dst []byte, sr *Series) []byte {
+	keys := make([]string, 0, len(sr.Tags))
+	for k := range sr.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = appendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = appendString(dst, sr.Tags[k])
+	}
+	dst = appendUvarint(dst, uint64(len(sr.Runs)))
+	for ri := range sr.Runs {
+		dst = appendRun(dst, &sr.Runs[ri])
+	}
+	return dst
+}
+
+func appendRun(dst []byte, r *Run) []byte {
+	n := len(r.Ts)
+	dst = appendUvarint(dst, uint64(n))
+	if n > 0 {
+		dst = appendFixed64(dst, uint64(r.Ts[0]))
+		for i := 1; i < n; i++ {
+			dst = appendUvarint(dst, uint64(r.Ts[i]-r.Ts[i-1])) // sorted: non-negative
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(r.Cols)))
+	for ci := range r.Cols {
+		dst = appendCol(dst, &r.Cols[ci], n)
+	}
+	return dst
+}
+
+const (
+	colFlagMixed   = 1 << 0
+	colFlagPresent = 1 << 1
+)
+
+func appendCol(dst []byte, c *Col, n int) []byte {
+	dst = appendString(dst, c.Name)
+	dst = append(dst, byte(c.Kind))
+	flags := byte(0)
+	if c.Mixed {
+		flags |= colFlagMixed
+	}
+	if c.Present != nil {
+		flags |= colFlagPresent
+	}
+	dst = append(dst, flags)
+	if c.Present != nil {
+		for _, w := range c.Present {
+			dst = appendFixed64(dst, w)
+		}
+	}
+	switch {
+	case c.Mixed:
+		for i := 0; i < n; i++ {
+			dst = appendValue(dst, c.Vals[i])
+		}
+	case c.Kind == lineproto.KindFloat:
+		for i := 0; i < n; i++ {
+			dst = appendFixed64(dst, math.Float64bits(c.Floats[i]))
+		}
+	case c.Kind == lineproto.KindString:
+		for i := 0; i < n; i++ {
+			dst = appendUvarint(dst, uint64(c.StrIDs[i]))
+		}
+	default: // KindInt, KindBool
+		for i := 0; i < n; i++ {
+			dst = binary.AppendVarint(dst, c.Ints[i])
+		}
+	}
+	return dst
+}
+
+// --- decoding ----------------------------------------------------------
+
+func decodeSnapshot(payload []byte) (*Snapshot, error) {
+	r := &batchReader{b: payload}
+	nm, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{}
+	if nm > 0 {
+		s.Measurements = make([]Measurement, 0, nm)
+	}
+	for i := 0; i < nm; i++ {
+		m, err := decodeMeasurement(r)
+		if err != nil {
+			return nil, err
+		}
+		s.Measurements = append(s.Measurements, m)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("durable: %d trailing bytes after snapshot", len(r.b))
+	}
+	return s, nil
+}
+
+func decodeMeasurement(r *batchReader) (Measurement, error) {
+	var m Measurement
+	var err error
+	if m.Name, err = r.str(); err != nil {
+		return m, err
+	}
+	nf, err := r.count()
+	if err != nil {
+		return m, err
+	}
+	if nf > 0 {
+		m.Fields = make([]FieldSchema, 0, nf)
+	}
+	for i := 0; i < nf; i++ {
+		var f FieldSchema
+		if f.Name, err = r.str(); err != nil {
+			return m, err
+		}
+		if len(r.b) < 1 {
+			return m, errShortBatch
+		}
+		f.Kind = lineproto.ValueKind(r.b[0])
+		r.b = r.b[1:]
+		m.Fields = append(m.Fields, f)
+	}
+	ns, err := r.count()
+	if err != nil {
+		return m, err
+	}
+	if ns > 0 {
+		m.Strs = make([]string, 0, ns)
+	}
+	for i := 0; i < ns; i++ {
+		v, err := r.str()
+		if err != nil {
+			return m, err
+		}
+		m.Strs = append(m.Strs, v)
+	}
+	nser, err := r.count()
+	if err != nil {
+		return m, err
+	}
+	if nser > 0 {
+		m.Series = make([]Series, 0, nser)
+	}
+	for i := 0; i < nser; i++ {
+		sr, err := decodeSeries(r)
+		if err != nil {
+			return m, err
+		}
+		m.Series = append(m.Series, sr)
+	}
+	return m, nil
+}
+
+func decodeSeries(r *batchReader) (Series, error) {
+	var sr Series
+	nt, err := r.count()
+	if err != nil {
+		return sr, err
+	}
+	if nt > 0 {
+		sr.Tags = make(map[string]string, nt)
+		for i := 0; i < nt; i++ {
+			k, err := r.str()
+			if err != nil {
+				return sr, err
+			}
+			v, err := r.str()
+			if err != nil {
+				return sr, err
+			}
+			sr.Tags[k] = v
+		}
+	}
+	nr, err := r.count()
+	if err != nil {
+		return sr, err
+	}
+	if nr > 0 {
+		sr.Runs = make([]Run, 0, nr)
+	}
+	for i := 0; i < nr; i++ {
+		run, err := decodeRun(r)
+		if err != nil {
+			return sr, err
+		}
+		sr.Runs = append(sr.Runs, run)
+	}
+	return sr, nil
+}
+
+func decodeRun(r *batchReader) (Run, error) {
+	var run Run
+	n64, err := r.uvarint()
+	if err != nil {
+		return run, err
+	}
+	if n64 > uint64(len(r.b)) {
+		return run, fmt.Errorf("durable: implausible run length %d", n64)
+	}
+	n := int(n64)
+	if n > 0 {
+		anchor, err := r.fixed64()
+		if err != nil {
+			return run, err
+		}
+		run.Ts = make([]int64, n)
+		run.Ts[0] = int64(anchor)
+		for i := 1; i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return run, err
+			}
+			run.Ts[i] = run.Ts[i-1] + int64(d)
+		}
+	}
+	nc, err := r.count()
+	if err != nil {
+		return run, err
+	}
+	if nc > 0 {
+		run.Cols = make([]Col, 0, nc)
+	}
+	for i := 0; i < nc; i++ {
+		c, err := decodeCol(r, n)
+		if err != nil {
+			return run, err
+		}
+		run.Cols = append(run.Cols, c)
+	}
+	return run, nil
+}
+
+func decodeCol(r *batchReader, n int) (Col, error) {
+	var c Col
+	var err error
+	if c.Name, err = r.str(); err != nil {
+		return c, err
+	}
+	if len(r.b) < 2 {
+		return c, errShortBatch
+	}
+	c.Kind = lineproto.ValueKind(r.b[0])
+	flags := r.b[1]
+	r.b = r.b[2:]
+	c.Mixed = flags&colFlagMixed != 0
+	if flags&colFlagPresent != 0 {
+		words := (n + 63) / 64
+		c.Present = make([]uint64, words)
+		for i := 0; i < words; i++ {
+			w, err := r.fixed64()
+			if err != nil {
+				return c, err
+			}
+			c.Present[i] = w
+		}
+	}
+	if n == 0 {
+		return c, nil
+	}
+	switch {
+	case c.Mixed:
+		c.Vals = make([]lineproto.Value, n)
+		for i := 0; i < n; i++ {
+			if c.Vals[i], err = r.value(); err != nil {
+				return c, err
+			}
+		}
+	case c.Kind == lineproto.KindFloat:
+		c.Floats = make([]float64, n)
+		for i := 0; i < n; i++ {
+			bits, err := r.fixed64()
+			if err != nil {
+				return c, err
+			}
+			c.Floats[i] = math.Float64frombits(bits)
+		}
+	case c.Kind == lineproto.KindString:
+		c.StrIDs = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			id, err := r.uvarint()
+			if err != nil {
+				return c, err
+			}
+			c.StrIDs[i] = uint32(id)
+		}
+	default:
+		c.Ints = make([]int64, n)
+		for i := 0; i < n; i++ {
+			if c.Ints[i], err = r.varint(); err != nil {
+				return c, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// --- files -------------------------------------------------------------
+
+// WriteSnapshot atomically writes s as the checkpoint replaying from WAL
+// segment seg, then removes superseded checkpoint files. The returned
+// error is nil only once the new checkpoint is durably on disk.
+func WriteSnapshot(dir string, seg int, s *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	payload := appendSnapshot(nil, s)
+	final := filepath.Join(dir, snapshotName(seg))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteString(snapMagic)
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(payload))
+		_, err = f.Write(trailer[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// The new checkpoint is durable; superseded ones and stray temp files
+	// only waste space now.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if idx, ok := parseSnapshotName(name); ok && idx != seg {
+			_ = os.Remove(filepath.Join(dir, name))
+		} else if strings.HasSuffix(name, ".snap.tmp") && name != filepath.Base(tmp) {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// LoadLatestSnapshot loads the newest valid checkpoint in dir. It returns
+// the snapshot and the WAL segment index replay must start from, or
+// (nil, 0, nil) when no usable checkpoint exists. Corrupt checkpoint
+// files are skipped in favour of older ones.
+func LoadLatestSnapshot(dir string) (*Snapshot, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	var idxs []int
+	for _, e := range entries {
+		if idx, ok := parseSnapshotName(e.Name()); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+	for _, idx := range idxs {
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName(idx)))
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+			continue
+		}
+		payload := data[len(snapMagic) : len(data)-4]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+			continue
+		}
+		s, err := decodeSnapshot(payload)
+		if err != nil {
+			continue
+		}
+		return s, idx, nil
+	}
+	return nil, 0, nil
+}

@@ -108,7 +108,15 @@ func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusNotFound, "database %q not found", dbName)
 			return
 		}
-		db = h.store.CreateDatabase(dbName)
+		// OpenDatabase, not CreateDatabase: on a durable store a failed
+		// durable open must fail the write, not silently degrade the
+		// database to memory-only and keep acknowledging.
+		var err error
+		db, err = h.store.OpenDatabase(dbName)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "create database: %v", err)
+			return
+		}
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {

@@ -674,7 +674,11 @@ func Execute(store *Store, dbName string, st Statement) (ExecResult, error) {
 func ExecuteContext(ctx context.Context, store *Store, dbName string, st Statement, opts ExecOptions) (ExecResult, error) {
 	switch st.Kind {
 	case StmtCreateDatabase:
-		store.CreateDatabase(st.Target)
+		// On a durable store a failed durable open must surface, not
+		// silently hand back a memory-only database.
+		if _, err := store.OpenDatabase(st.Target); err != nil {
+			return ExecResult{}, err
+		}
 		return ExecResult{}, nil
 	case StmtDropDatabase:
 		store.DropDatabase(st.Target)

@@ -1,0 +1,569 @@
+package tsdb
+
+// Durable storage glue (DESIGN.md §9). The on-disk formats — segmented
+// CRC32-framed WAL, columnar checkpoint files — live in the durable
+// subpackage; this file owns their lifecycle around a DB:
+//
+//   - the durable write path: WriteBatch encodes the batch and appends it
+//     to the WAL (fsynced per Durability.Fsync) *before* applying it in
+//     memory and acknowledging, under a read-gate shared with checkpoints;
+//   - checkpoints: rotate the WAL under the write gate, snapshot the
+//     immutable in-memory column blocks (slice headers only — the same
+//     invariants the lock-light read path relies on make this cheap),
+//     serialize them to a checkpoint file and delete the covered WAL
+//     segments;
+//   - recovery: load the newest valid checkpoint, then replay the WAL
+//     tail through the ordinary columnar write path (applyBatch and its
+//     runBuilder), truncating at the first torn frame;
+//   - retention: a sweep that dropped rows schedules a checkpoint (rate
+//     limited by Durability.RetentionCheckpointEvery), which rewrites the
+//     on-disk state without the expired blocks and deletes the expired
+//     WAL segments.
+//
+// The gate ordering is what makes a checkpoint an exact WAL prefix:
+// writers hold the gate in read mode across "append to WAL, apply to
+// memory", so when a checkpoint holds it in write mode the memory state
+// is exactly the contents of all segments below the freshly rotated one.
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/lineproto"
+	"repro/internal/tsdb/durable"
+)
+
+// ErrDBClosed is returned by writes to a closed durable database.
+var ErrDBClosed = errors.New("tsdb: database is closed")
+
+// Durability configures the durable storage engine of a Store or DB. The
+// zero value (empty Dir) keeps the database in memory only.
+type Durability struct {
+	// Dir is the root data directory; each database lives in its own
+	// subdirectory. Empty disables persistence.
+	Dir string
+	// Fsync selects when WAL appends reach stable storage: per batch
+	// (default, no acknowledged write ever lost), on an interval, or
+	// never (page cache only).
+	Fsync durable.FsyncPolicy
+	// FsyncInterval is the FsyncEveryInterval period (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates WAL segments past this size (default 8 MiB).
+	SegmentBytes int64
+	// CheckpointBytes triggers a background checkpoint once the live WAL
+	// grows past this size (default 32 MiB).
+	CheckpointBytes int64
+	// RetentionCheckpointEvery rate-limits the checkpoint a retention
+	// sweep schedules after dropping rows, so expired data also leaves
+	// the disk (default 1 minute).
+	RetentionCheckpointEvery time.Duration
+}
+
+func (d Durability) withDefaults() Durability {
+	if d.CheckpointBytes <= 0 {
+		d.CheckpointBytes = 32 << 20
+	}
+	if d.RetentionCheckpointEvery <= 0 {
+		d.RetentionCheckpointEvery = time.Minute
+	}
+	return d
+}
+
+func (d Durability) walOptions() durable.Options {
+	return durable.Options{Fsync: d.Fsync, FsyncInterval: d.FsyncInterval, SegmentBytes: d.SegmentBytes}
+}
+
+// durability is the runtime durable state of one DB.
+type durability struct {
+	dir  string
+	opts Durability
+	wal  *durable.WAL
+
+	// gate serializes checkpoints against writers: WriteBatch holds it in
+	// read mode across "WAL append + memory apply", Checkpoint in write
+	// mode across "rotate + snapshot", so a checkpoint captures exactly
+	// the batches in the segments it covers.
+	gate sync.RWMutex
+	// ckptMu serializes whole checkpoint operations.
+	ckptMu     sync.Mutex
+	ckptFlight atomic.Bool
+	lastCkpt   atomic.Int64 // unix ns of the last completed checkpoint
+	lastTry    atomic.Int64 // unix ns of the last background attempt (retry backoff)
+}
+
+// ckptRetryBackoff is the floor between background checkpoint attempts:
+// a persistently failing checkpoint (disk full) must not retry — and
+// rotate, fsync, rebuild the snapshot — on every subsequent batch.
+const ckptRetryBackoff = 5 * time.Second
+
+// batchBufPool recycles WAL encode buffers across concurrent writers.
+var batchBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// writeDurable is WriteBatch's durable path: log first, apply second,
+// acknowledge last.
+func (d *durability) writeDurable(db *DB, pts []lineproto.Point, now time.Time) error {
+	bufp := batchBufPool.Get().(*[]byte)
+	payload := durable.AppendBatch((*bufp)[:0], pts, now.UnixNano())
+	d.gate.RLock()
+	_, _, err := d.wal.Append(payload)
+	if err == nil {
+		db.applyBatch(pts, now)
+	}
+	d.gate.RUnlock()
+	*bufp = payload[:0]
+	batchBufPool.Put(bufp)
+	if err != nil {
+		if errors.Is(err, durable.ErrClosed) {
+			return ErrDBClosed
+		}
+		return fmt.Errorf("tsdb: WAL append: %w", err)
+	}
+	if d.wal.TotalSize() >= d.opts.CheckpointBytes {
+		d.asyncCheckpoint(db)
+	}
+	return nil
+}
+
+// asyncCheckpoint starts a background checkpoint unless one is already in
+// flight or one was attempted within the retry backoff. A failed
+// background checkpoint leaves the WAL intact, so no data is at risk; the
+// next trigger past the backoff (or Close) retries.
+func (d *durability) asyncCheckpoint(db *DB) {
+	now := time.Now().UnixNano()
+	last := d.lastTry.Load()
+	if now-last < int64(ckptRetryBackoff) || !d.lastTry.CompareAndSwap(last, now) {
+		return
+	}
+	if !d.ckptFlight.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer d.ckptFlight.Store(false)
+		_ = db.Checkpoint()
+	}()
+}
+
+// noteRetentionDrop is called after a retention sweep removed rows:
+// schedule a checkpoint so the expired rows leave the disk too, rate
+// limited so steady ingest with retention does not checkpoint every sweep.
+func (d *durability) noteRetentionDrop(db *DB) {
+	if time.Now().UnixNano()-d.lastCkpt.Load() < int64(d.opts.RetentionCheckpointEvery) {
+		return
+	}
+	d.asyncCheckpoint(db)
+}
+
+// Checkpoint writes the database's current state to a fresh checkpoint
+// file and deletes the WAL segments it covers. On an in-memory database
+// it is a no-op. Checkpoints run automatically (WAL growth, retention
+// sweeps, Close); calling this is only needed for tests and tooling.
+func (db *DB) Checkpoint() error {
+	d := db.dur
+	if d == nil {
+		return nil
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	d.gate.Lock()
+	seg, err := d.wal.Rotate()
+	if err != nil {
+		d.gate.Unlock()
+		if errors.Is(err, durable.ErrClosed) {
+			return ErrDBClosed
+		}
+		return err
+	}
+	snap := db.buildSnapshot()
+	d.gate.Unlock()
+	if err := durable.WriteSnapshot(d.dir, seg, snap); err != nil {
+		return fmt.Errorf("tsdb: checkpoint: %w", err)
+	}
+	d.lastCkpt.Store(time.Now().UnixNano())
+	return d.wal.RemoveBelow(seg)
+}
+
+// Close stops the retention ticker and, for a durable database, writes a
+// final checkpoint and closes the WAL. Further writes return ErrDBClosed.
+// Closing twice is safe.
+func (db *DB) Close() error {
+	return db.closeInternal(true)
+}
+
+// Abort closes a durable database the hard way: no final checkpoint, no
+// fsync — exactly the state a process crash would leave behind. The
+// crash-recovery tests and benchmarks reopen the data directory after
+// calling it.
+func (db *DB) Abort() {
+	if !db.closed.CompareAndSwap(false, true) {
+		return
+	}
+	db.stopRetention()
+	if db.dur != nil {
+		db.dur.wal.Abort()
+	}
+}
+
+func (db *DB) closeInternal(checkpoint bool) error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db.stopRetention()
+	if db.dur == nil {
+		return nil
+	}
+	var err error
+	if checkpoint {
+		err = db.Checkpoint()
+	}
+	if cerr := db.dur.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// dbDirName maps a database name to its directory name under the data
+// dir. Names whose escaped form would resolve outside the data directory
+// ("." / "..") or collide with the store's own files are refused — a
+// handler-auto-created database named ".." must never scatter WAL files
+// into the data directory's parent, let alone let DropDatabase RemoveAll
+// it.
+func dbDirName(name string) (string, error) {
+	esc := url.PathEscape(name)
+	switch esc {
+	case "", ".", "..", "LOCK":
+		return "", fmt.Errorf("tsdb: invalid database name %q", name)
+	}
+	return esc, nil
+}
+
+// openDurableDB opens (recovering if the directory already has state) a
+// durable database under opts.Dir.
+func openDurableDB(name string, shards int, opts Durability) (*DB, error) {
+	opts = opts.withDefaults()
+	dirName, err := dbDirName(name)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDBShards(name, shards)
+	dir := filepath.Join(opts.Dir, dirName)
+	snap, floor, err := durable.LoadLatestSnapshot(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: open %q: %w", name, err)
+	}
+	if snap != nil {
+		db.loadSnapshot(snap)
+	}
+	wal, err := durable.OpenWAL(dir, floor, opts.walOptions(), func(payload []byte) error {
+		pts, err := durable.DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("tsdb: WAL replay of %q: %w", name, err)
+		}
+		// Replay feeds the tail through the ordinary columnar write path
+		// (shard runBuilders, compaction, rewrite dedup), so the recovered
+		// state is bit-for-bit what the pre-crash writes built. Timestamps
+		// were resolved before encoding, so the wall clock is never used.
+		db.applyBatch(pts, time.Now())
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: open %q: %w", name, err)
+	}
+	db.dur = &durability{dir: dir, opts: opts, wal: wal}
+	db.dur.lastCkpt.Store(time.Now().UnixNano())
+	// Recovery resumes the stream clock: the downtime does not count as
+	// idle time for the retention ticker (SetRetention).
+	db.lastWrite.Store(time.Now().UnixNano())
+	return db, nil
+}
+
+// --- in-memory state <-> durable.Snapshot -------------------------------
+
+// buildSnapshot captures the database's full columnar state as a
+// durable.Snapshot. It only copies slice headers: runs are immutable to
+// readers (the same invariants Select's phase 1 relies on), so the
+// serialization can proceed outside any lock. Callers must hold the
+// durability gate in write mode (or otherwise exclude writers) so the
+// capture is an exact WAL prefix.
+func (db *DB) buildSnapshot() *durable.Snapshot {
+	snap := &durable.Snapshot{}
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, m := range sh.measurements {
+			dm := durable.Measurement{Name: m.name}
+			fields := make([]string, 0, len(m.fields))
+			for f := range m.fields {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			for _, f := range fields {
+				dm.Fields = append(dm.Fields, durable.FieldSchema{Name: f, Kind: m.fields[f]})
+			}
+			dm.Strs = m.strs.vals[:len(m.strs.vals):len(m.strs.vals)]
+			keys := make([]string, 0, len(m.series))
+			for k := range m.series {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				sr := m.series[k]
+				ds := durable.Series{Tags: sr.tags}
+				for _, run := range sr.runs {
+					dr := durable.Run{Ts: run.ts}
+					for ci := range run.cols {
+						c := &run.cols[ci]
+						dr.Cols = append(dr.Cols, durable.Col{
+							Name:    c.name,
+							Kind:    c.kind,
+							Mixed:   c.mixed,
+							Present: c.present,
+							Floats:  c.floats,
+							Ints:    c.ints,
+							StrIDs:  c.strs,
+							Vals:    c.vals,
+						})
+					}
+					ds.Runs = append(ds.Runs, dr)
+				}
+				dm.Series = append(dm.Series, ds)
+			}
+			snap.Measurements = append(snap.Measurements, dm)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(snap.Measurements, func(i, j int) bool {
+		return snap.Measurements[i].Name < snap.Measurements[j].Name
+	})
+	return snap
+}
+
+// loadSnapshot rebuilds the in-memory columnar state from a checkpoint.
+// Only called while the DB is private to the opener (before any reader or
+// writer can see it).
+func (db *DB) loadSnapshot(snap *durable.Snapshot) {
+	newest := int64(minInt64)
+	for mi := range snap.Measurements {
+		dm := &snap.Measurements[mi]
+		m := &measurement{
+			name:   dm.Name,
+			series: make(map[string]*series, len(dm.Series)),
+			fields: make(map[string]lineproto.ValueKind, len(dm.Fields)),
+			names:  make(map[string]string, len(dm.Fields)),
+		}
+		for _, f := range dm.Fields {
+			m.names[f.Name] = f.Name
+			m.fields[f.Name] = f.Kind
+		}
+		m.strs.vals = dm.Strs
+		if len(dm.Strs) > 0 {
+			m.strs.ids = make(map[string]uint32, len(dm.Strs))
+			for id, s := range dm.Strs {
+				m.strs.ids[s] = uint32(id)
+			}
+		}
+		for si := range dm.Series {
+			ds := &dm.Series[si]
+			sr := &series{tags: ds.Tags}
+			if sr.tags == nil {
+				sr.tags = map[string]string{}
+			}
+			for ri := range ds.Runs {
+				dr := &ds.Runs[ri]
+				run := &colRun{ts: dr.Ts}
+				for ci := range dr.Cols {
+					dc := &dr.Cols[ci]
+					name := dc.Name
+					if canon, ok := m.names[name]; ok {
+						name = canon // share one string per schema field
+					} else {
+						m.names[name] = name
+						m.fields[name] = dc.Kind
+					}
+					run.cols = append(run.cols, col{
+						name:    name,
+						kind:    dc.Kind,
+						mixed:   dc.Mixed,
+						n:       len(dr.Ts),
+						present: dc.Present,
+						floats:  dc.Floats,
+						ints:    dc.Ints,
+						strs:    dc.StrIDs,
+						vals:    dc.Vals,
+					})
+				}
+				sr.runs = append(sr.runs, run)
+				if n := len(dr.Ts); n > 0 && dr.Ts[n-1] > newest {
+					newest = dr.Ts[n-1]
+				}
+			}
+			m.series[seriesKey(sr.tags)] = sr
+		}
+		db.shardFor(dm.Name).measurements[dm.Name] = m
+	}
+	if newest != int64(minInt64) {
+		db.newest.Store(newest)
+	}
+}
+
+// --- store-level lifecycle ---------------------------------------------
+
+// StoreOptions configure OpenStore.
+type StoreOptions struct {
+	// ShardsPerDB and QueryWorkersPerDB mirror the Store fields of the
+	// same name (0 = GOMAXPROCS each).
+	ShardsPerDB       int
+	QueryWorkersPerDB int
+	// Durability enables the durable storage engine when Dir is set.
+	Durability Durability
+}
+
+// OpenStore builds a store with the given options and, when durability is
+// enabled, recovers every database already present under the data
+// directory, so a restarted server answers queries for all of them
+// without waiting for a write. The data directory is flock'd for the
+// store's lifetime: a second process opening the same directory would
+// interleave WAL frames and delete each other's segments, so it is
+// refused instead.
+func OpenStore(o StoreOptions) (*Store, error) {
+	s := NewStore()
+	s.ShardsPerDB = o.ShardsPerDB
+	s.QueryWorkersPerDB = o.QueryWorkersPerDB
+	if o.Durability.Dir == "" {
+		return s, nil
+	}
+	s.durOpts = o.Durability.withDefaults()
+	if err := os.MkdirAll(s.durOpts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDataDir(s.durOpts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s.dirLock = lock
+	entries, err := os.ReadDir(s.durOpts.Dir)
+	if err != nil {
+		s.unlockDataDir()
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil || url.PathEscape(name) != e.Name() {
+			// Not a directory this store created: a non-canonical escape
+			// would round-trip to a *different* directory name and the
+			// store would silently serve (and drop!) the wrong one.
+			continue
+		}
+		if _, err := s.OpenDatabase(name); err != nil {
+			s.Abort()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// lockDataDir takes an exclusive, non-blocking flock on <dir>/LOCK.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: data directory %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func (s *Store) unlockDataDir() {
+	if s.dirLock != nil {
+		_ = s.dirLock.Close() // closing drops the flock
+		s.dirLock = nil
+	}
+}
+
+// OpenDatabase creates (or returns the existing) database with that name,
+// reporting durable-open failures instead of falling back the way
+// CreateDatabase does.
+func (s *Store) OpenDatabase(name string) (*DB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.openLocked(name)
+}
+
+func (s *Store) openLocked(name string) (*DB, error) {
+	if db, ok := s.dbs[name]; ok {
+		return db, nil
+	}
+	var db *DB
+	if s.durOpts.Dir != "" {
+		if s.closed {
+			// The directory flock was released by Close/Abort: opening a
+			// fresh durable database now would write into a directory
+			// another process may legitimately hold.
+			return nil, ErrDBClosed
+		}
+		var err error
+		db, err = openDurableDB(name, s.ShardsPerDB, s.durOpts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = NewDBShards(name, s.ShardsPerDB)
+	}
+	if s.QueryWorkersPerDB > 0 {
+		db.SetQueryWorkers(s.QueryWorkersPerDB)
+	}
+	s.dbs[name] = db
+	return db, nil
+}
+
+// Close closes every database: final checkpoints are written, WALs
+// flushed and closed, and the data directory lock is released. The store
+// keeps serving reads of already-open in-memory databases, but durable
+// writes fail after Close.
+func (s *Store) Close() error {
+	var errs []error
+	for _, db := range s.snapshotDBs() {
+		if err := db.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", db.Name(), err))
+		}
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.unlockDataDir()
+	s.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Abort closes every database without flushing or checkpointing,
+// simulating a process crash (see DB.Abort). The directory lock is
+// released (a real crash releases a flock too).
+func (s *Store) Abort() {
+	for _, db := range s.snapshotDBs() {
+		db.Abort()
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.unlockDataDir()
+	s.mu.Unlock()
+}
+
+func (s *Store) snapshotDBs() []*DB {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dbs := make([]*DB, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		dbs = append(dbs, db)
+	}
+	return dbs
+}

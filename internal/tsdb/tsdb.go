@@ -47,12 +47,26 @@
 // typed columns. A small TTL'd query-result cache (cache.go) absorbs the
 // dashboard viewer's repeated panel refreshes and is invalidated per
 // measurement on write.
+//
+// # Durability
+//
+// A store opened with OpenStore and a data directory survives restarts
+// (persist.go and the durable subpackage, DESIGN.md §9), mirroring the
+// InfluxDB storage engine the paper's stack persists into: WriteBatch
+// appends each batch to a segmented, CRC32-framed write-ahead log before
+// acknowledging (fsync per batch, on an interval, or off), checkpoints
+// serialize the sealed columnar runs to immutable on-disk blocks and
+// truncate the log, and recovery loads the newest checkpoint and replays
+// the WAL tail through the ordinary columnar write path — surviving a
+// torn final record by truncating at the first bad frame. Close writes a
+// final checkpoint; retention sweeps delete expired on-disk state.
 package tsdb
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -82,8 +96,15 @@ type Store struct {
 	// before the store starts serving traffic.
 	QueryWorkersPerDB int
 
-	mu  sync.RWMutex
-	dbs map[string]*DB
+	// durOpts enables the durable storage engine (persist.go, DESIGN.md
+	// §9) when its Dir is non-empty; dirLock holds the flock on the data
+	// directory. Both set through OpenStore.
+	durOpts Durability
+	dirLock *os.File
+
+	mu     sync.RWMutex
+	dbs    map[string]*DB
+	closed bool // set by Close/Abort; durable opens are refused after
 }
 
 // NewStore returns an empty store.
@@ -91,18 +112,25 @@ func NewStore() *Store {
 	return &Store{dbs: make(map[string]*DB)}
 }
 
-// CreateDatabase creates (or returns the existing) database with that name.
+// CreateDatabase creates (or returns the existing) database with that
+// name. On a durable store a failure to open the on-disk state (an I/O
+// error; corrupt files are recovered from, not failed on) degrades to a
+// fresh in-memory database so in-process callers keep accepting data.
+// The degraded database is NOT cached: the next call retries the durable
+// open, so the degradation lasts one caller, not the store's lifetime.
+// Callers that must not lose durability silently — the HTTP /write
+// auto-create and InfluxQL CREATE DATABASE do this — use OpenDatabase
+// and check the error instead.
 func (s *Store) CreateDatabase(name string) *DB {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if db, ok := s.dbs[name]; ok {
-		return db
+	db, err := s.openLocked(name)
+	if err != nil {
+		db = NewDBShards(name, s.ShardsPerDB)
+		if s.QueryWorkersPerDB > 0 {
+			db.SetQueryWorkers(s.QueryWorkersPerDB)
+		}
 	}
-	db := NewDBShards(name, s.ShardsPerDB)
-	if s.QueryWorkersPerDB > 0 {
-		db.SetQueryWorkers(s.QueryWorkersPerDB)
-	}
-	s.dbs[name] = db
 	return db
 }
 
@@ -122,11 +150,23 @@ func (s *Store) DB(name string) *DB {
 	return s.dbs[name]
 }
 
-// DropDatabase removes a database and all its contents.
+// DropDatabase removes a database and all its contents, including its
+// on-disk directory when the store is durable. The store lock is held
+// across the close and directory removal: a concurrent auto-create of
+// the same name must not re-open the directory only to have its live
+// WAL deleted from under it.
 func (s *Store) DropDatabase(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	db := s.dbs[name]
 	delete(s.dbs, name)
+	if db == nil {
+		return
+	}
+	_ = db.closeInternal(false)
+	if db.dur != nil {
+		_ = os.RemoveAll(db.dur.dir)
+	}
 }
 
 // Databases lists database names in sorted order.
@@ -149,6 +189,19 @@ type DB struct {
 	retention atomic.Int64 // nanoseconds; 0 = keep forever
 	newest    atomic.Int64 // unix ns of the newest point ever written
 	lastPrune atomic.Int64 // wall-clock unix ns of the last retention sweep
+	lastWrite atomic.Int64 // wall-clock unix ns of the last applied batch
+
+	// dur is the durable storage engine (persist.go, DESIGN.md §9); nil
+	// keeps the database in memory only. closed flips once on
+	// Close/Abort; durable writes check it.
+	dur    *durability
+	closed atomic.Bool
+
+	// Background retention ticker (SetRetention), so expired data ages
+	// out of an idle database too. retStop is the live ticker's stop
+	// channel, nil when no ticker runs.
+	retMu   sync.Mutex
+	retStop chan struct{}
 
 	// Read path (select.go, cache.go). queryWorkers bounds the phase-2
 	// fan-out of Select; qsem is the shared slot pool sized to it.
@@ -240,11 +293,84 @@ func (db *DB) shardIndex(measurement string) int {
 	return int(h % uint32(len(db.shards)))
 }
 
-// SetRetention configures the retention window. Points older than d relative
-// to the newest inserted point are pruned lazily during writes. Zero disables
-// pruning.
+// SetRetention configures the retention window. Points older than d
+// relative to the newest inserted point are pruned lazily during writes,
+// and a background ticker (stopped by Close) sweeps idle databases so
+// expired data ages out without further ingest. The ticker advances the
+// cutoff anchor by the wall-clock time elapsed since the last write —
+// an idle database keeps aging as if its stream clock kept running —
+// rather than jumping to the wall clock outright, so historical data
+// (simulation dumps, backfills, the 2017-era corpora of this repo) keeps
+// its retention window anchored at its own newest point. Zero disables
+// pruning and stops the ticker.
 func (db *DB) SetRetention(d time.Duration) {
 	db.retention.Store(int64(d))
+	db.retMu.Lock()
+	defer db.retMu.Unlock()
+	if db.retStop != nil {
+		close(db.retStop)
+		db.retStop = nil
+	}
+	if d <= 0 || db.closed.Load() {
+		return
+	}
+	// Sweep at least every second; sub-second windows sweep at half the
+	// window so data expires promptly (tests use tiny windows).
+	period := d / 2
+	if period > time.Second {
+		period = time.Second
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	db.retStop = stop
+	go db.retentionLoop(stop, period)
+}
+
+// stopRetention halts the background retention ticker, if any.
+func (db *DB) stopRetention() {
+	db.retMu.Lock()
+	defer db.retMu.Unlock()
+	if db.retStop != nil {
+		close(db.retStop)
+		db.retStop = nil
+	}
+}
+
+func (db *DB) retentionLoop(stop chan struct{}, period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			db.pruneTick()
+		}
+	}
+}
+
+// pruneTick is the ticker-driven retention sweep. Unlike the write-path
+// sweep it advances the cutoff anchor past the newest point by the time
+// the database has sat idle, so expired data ages out without further
+// ingest while historical data keeps its window anchored at the stream's
+// own newest timestamp (see SetRetention).
+func (db *DB) pruneTick() {
+	ret := db.retention.Load()
+	if ret <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	anchor := db.newest.Load()
+	if anchor == 0 {
+		return // nothing ever written or recovered
+	}
+	if idle := now - db.lastWrite.Load(); idle > 0 {
+		anchor += idle
+	}
+	db.lastPrune.Store(now)
+	db.pruneNow(anchor - ret)
 }
 
 type measurement struct {
@@ -354,7 +480,9 @@ func (db *DB) WritePoints(pts []lineproto.Point) error {
 // WriteBatch is the batched ingest entry point: the whole batch is
 // validated, split per shard, and written with one lock acquisition per
 // touched shard. Points without a timestamp share one server-side
-// timestamp, mirroring InfluxDB.
+// timestamp, mirroring InfluxDB. On a durable database the batch is
+// appended to the write-ahead log — fsynced per the configured policy —
+// before it is applied and acknowledged (persist.go).
 func (db *DB) WriteBatch(pts []lineproto.Point) error {
 	if len(pts) == 0 {
 		return nil
@@ -365,11 +493,29 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 		}
 	}
 	now := time.Now()
+	if db.dur != nil {
+		if db.closed.Load() {
+			return ErrDBClosed
+		}
+		return db.dur.writeDurable(db, pts, now)
+	}
+	db.applyBatch(pts, now)
+	return nil
+}
+
+// applyBatch inserts a pre-validated batch into the in-memory columnar
+// state. It is the whole write path for in-memory databases and the
+// post-WAL half for durable ones (both live writes and recovery replay).
+// Points without a timestamp are resolved to now — the same value the
+// durable path encoded into the WAL, so replay reproduces this state
+// exactly.
+func (db *DB) applyBatch(pts []lineproto.Point, now time.Time) {
+	db.lastWrite.Store(now.UnixNano())
 	defer db.maybePrune()
 	defer db.bumpMeasGens(pts) // invalidate cached query results per measurement
 	if len(db.shards) == 1 {
 		db.shards[0].writeBatch(db, pts, now)
-		return nil
+		return
 	}
 
 	// Batches are usually runs of one measurement (one agent flush), so
@@ -391,7 +537,7 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 	}
 	if single {
 		db.shards[firstIdx].writeBatch(db, pts, now)
-		return nil
+		return
 	}
 
 	buckets := make([][]lineproto.Point, len(db.shards))
@@ -408,7 +554,6 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 			db.shards[idx].writeBatch(db, bucket, now)
 		}
 	}
-	return nil
 }
 
 // writeBatch inserts pre-validated points under one lock acquisition.
@@ -547,17 +692,26 @@ func (db *DB) maybePrune() {
 	if now-last < int64(time.Second) || !db.lastPrune.CompareAndSwap(last, now) {
 		return
 	}
-	cutoff := db.newest.Load() - ret
+	db.pruneNow(db.newest.Load() - ret)
+}
+
+// pruneNow sweeps every shard with the given cutoff. A sweep that
+// removed rows invalidates every cached query result (an empty sweep
+// must not flush unrelated entries) and, on a durable database,
+// schedules a checkpoint so the expired rows leave the disk too.
+func (db *DB) pruneNow(beforeNS int64) {
 	dropped := false
 	for _, sh := range db.shards {
 		sh.mu.Lock()
-		dropped = sh.pruneLocked(cutoff) || dropped
+		dropped = sh.pruneLocked(beforeNS) || dropped
 		sh.mu.Unlock()
 	}
-	if dropped {
-		// A sweep that removed rows invalidates every cached query result;
-		// an empty sweep must not flush unrelated entries.
-		db.globalGen.Add(1)
+	if !dropped {
+		return
+	}
+	db.globalGen.Add(1)
+	if db.dur != nil {
+		db.dur.noteRetentionDrop(db)
 	}
 }
 
@@ -600,16 +754,7 @@ func (sh *shard) pruneLocked(beforeNS int64) bool {
 
 // DropBefore removes all points older than t from every series.
 func (db *DB) DropBefore(t time.Time) {
-	ns := t.UnixNano()
-	dropped := false
-	for _, sh := range db.shards {
-		sh.mu.Lock()
-		dropped = sh.pruneLocked(ns) || dropped
-		sh.mu.Unlock()
-	}
-	if dropped {
-		db.globalGen.Add(1)
-	}
+	db.pruneNow(t.UnixNano())
 }
 
 // Measurements lists measurement names in sorted order, merged across

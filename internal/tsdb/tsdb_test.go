@@ -570,3 +570,64 @@ func TestMedianProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRetentionTickerAgesOutIdleData guards the background retention
+// ticker: before it existed, the sweep only fired on writes, so an idle
+// database kept expired data forever. The ticker anchors the cutoff at
+// the wall clock, so this data must disappear with no further ingest.
+func TestRetentionTickerAgesOutIdleData(t *testing.T) {
+	db := NewDB("test")
+	defer db.Close()
+	if err := db.WritePoint(pt("m", nil, 1, time.Now().UnixNano())); err != nil {
+		t.Fatal(err)
+	}
+	db.SetRetention(100 * time.Millisecond) // ticker sweeps every 50ms
+	deadline := time.Now().Add(10 * time.Second)
+	for db.PointCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("expired data survived an idle database; the ticker never swept")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSetRetentionZeroStopsTicker: disabling retention stops the sweeper,
+// so data written afterwards stays put.
+func TestSetRetentionZeroStopsTicker(t *testing.T) {
+	db := NewDB("test")
+	defer db.Close()
+	db.SetRetention(20 * time.Millisecond)
+	db.SetRetention(0)
+	if err := db.WritePoint(pt("m", nil, 1, time.Now().Add(-time.Hour).UnixNano())); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if got := db.PointCount(); got != 1 {
+		t.Fatalf("PointCount = %d after disabling retention, want 1", got)
+	}
+	// Close is idempotent and stops any ticker left running.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetentionTickerPreservesHistoricalData guards the ticker's anchor
+// arithmetic: simulation dumps and backfills carry timestamps far in the
+// past, and the retention window must stay anchored at the *stream's*
+// newest point (advanced only by idle wall time), not jump to the wall
+// clock and instantly purge everything.
+func TestRetentionTickerPreservesHistoricalData(t *testing.T) {
+	db := NewDB("test")
+	defer db.Close()
+	newest := time.Now().Add(-time.Hour) // a 2017-style historical corpus
+	_ = db.WritePoint(pt("m", nil, 1, newest.Add(-5*time.Second).UnixNano()))
+	_ = db.WritePoint(pt("m", nil, 2, newest.UnixNano()))
+	db.SetRetention(10 * time.Second)
+	time.Sleep(2500 * time.Millisecond) // several ticker periods
+	if got := db.PointCount(); got != 2 {
+		t.Fatalf("historical points within the retention window were purged: PointCount = %d, want 2", got)
+	}
+}

@@ -74,6 +74,20 @@
 // both to byte-identical JSON. Contexts flow from the HTTP handlers
 // through DB.SelectContext into the aggregation worker pool, so
 // disconnected clients cancel their queries.
+//
+// # Durability
+//
+// The paper's stack persists metrics in InfluxDB so monitoring survives
+// daemon restarts; a stack built with StackConfig.DataDir (or an lms-db
+// started with -data-dir) does the same with the engine of DESIGN.md §9:
+// every batch lands in a segmented, CRC32-framed write-ahead log before
+// it is acknowledged (fsync policy per StackConfig.FsyncPolicy),
+// checkpoints serialize the sealed columnar runs into immutable on-disk
+// blocks, and startup recovers the newest checkpoint plus the WAL tail,
+// truncating torn final records so exactly the acknowledged prefix comes
+// back. Stack.Close (or SIGTERM to lms-db) flushes the log and writes a
+// final checkpoint; retention deletes expired on-disk segments and
+// blocks, with a per-DB background sweep aging out idle databases.
 package lms
 
 import (
