@@ -1,6 +1,12 @@
 // Command lms-db runs the standalone time-series database back-end of the
 // LIKWID Monitoring Stack: an InfluxDB-compatible HTTP server
-// (POST /write, GET /query, GET /ping).
+// (POST /write, GET /query, GET /ping) that also exposes its own health
+// on GET /metrics (Prometheus text format, DESIGN.md §10).
+//
+// Ingest is bounded: -max-body-mb refuses oversized /write bodies with
+// 413, and -max-inflight-reqs / -max-inflight-mb shed excess concurrent
+// load with 429 + Retry-After. -slow-query logs queries above a latency
+// threshold.
 //
 // The store is shard-partitioned per database for multi-core ingest; the
 // -shards flag overrides the lock-shard count (default: GOMAXPROCS).
@@ -45,6 +51,10 @@ func run(args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "lock shards per database (0 = GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	fsync := fs.String("fsync", "batch", "WAL fsync policy with -data-dir: batch, interval or off")
+	slowQuery := fs.Duration("slow-query", 0, "log /query requests at least this slow (0 = off)")
+	maxBodyMB := fs.Int64("max-body-mb", 0, "refuse /write bodies above this many MiB with 413 (0 = 64)")
+	maxInflightMB := fs.Int64("max-inflight-mb", 0, "shed /write with 429 beyond this many MiB of in-flight bodies (0 = unlimited)")
+	maxInflightReqs := fs.Int64("max-inflight-reqs", 0, "shed /write with 429 beyond this many concurrent requests (0 = unlimited)")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
@@ -72,6 +82,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	handler := tsdb.NewHandler(store)
+	handler.SlowQueryThreshold = *slowQuery
+	handler.MaxBodyBytes = *maxBodyMB << 20
+	handler.SetAdmission(*maxInflightReqs, *maxInflightMB<<20)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		_ = store.Close()

@@ -7,6 +7,12 @@
 // Job signals are received on POST /api/job/start and /api/job/end with a
 // JSON body {"jobid": "...", "username": "...", "nodes": ["h1", ...]}.
 //
+// GET /metrics exposes the router's own pipeline counters (received,
+// forwarded, dropped, shed) in the Prometheus text format. Ingest is
+// bounded the same way as lms-db: -max-body-mb (413 on oversized bodies)
+// and -max-inflight-reqs / -max-inflight-mb (429 + Retry-After on
+// overload).
+//
 // Usage:
 //
 //	lms-router -addr :8090 -db-url http://localhost:8086 -db lms \
@@ -36,12 +42,18 @@ func run(args []string, stdout io.Writer) error {
 	userDBs := fs.Bool("user-dbs", false, "duplicate job metrics into per-user databases")
 	publish := fs.String("publish", "", "ZeroMQ-style publisher listen address (empty = off)")
 	hwm := fs.Int("publish-hwm", 0, "publisher high-water mark (0 = default)")
+	maxBodyMB := fs.Int64("max-body-mb", 0, "refuse /write bodies above this many MiB with 413 (0 = 64)")
+	maxInflightMB := fs.Int64("max-inflight-mb", 0, "shed /write with 429 beyond this many MiB of in-flight bodies (0 = unlimited)")
+	maxInflightReqs := fs.Int64("max-inflight-reqs", 0, "shed /write with 429 beyond this many concurrent requests (0 = unlimited)")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 
 	cfg := router.Config{
-		Primary: &tsdb.Client{BaseURL: *dbURL, Database: *dbName},
+		Primary:             &tsdb.Client{BaseURL: *dbURL, Database: *dbName},
+		MaxBodyBytes:        *maxBodyMB << 20,
+		MaxInFlightRequests: *maxInflightReqs,
+		MaxInFlightBytes:    *maxInflightMB << 20,
 	}
 	if *userDBs {
 		cfg.UserSink = func(user string) router.Sink {

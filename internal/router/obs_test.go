@@ -1,0 +1,127 @@
+package router
+
+// Tests for the router's self-observability and ingest hardening: the
+// /metrics endpoint, the admission gate (429 + Retry-After), and the
+// 413 refusal of oversized /write bodies.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lineproto"
+)
+
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestRouterMetricsEndpoint(t *testing.T) {
+	e := newEnv(t, nil)
+	e.post(t, "/write", "cpu,hostname=h1 value=1\ncpu,hostname=h2 value=2\n")
+	out := scrape(t, e.srv.URL)
+	for _, want := range []string{
+		"lms_router_received_points_total 2",
+		"lms_router_forwarded_points_total 2",
+		"lms_router_dropped_points_total 0",
+		"lms_router_shed_requests_total 0",
+		"lms_router_inflight_requests 0",
+		"lms_router_jobs_running 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics agree with the Stats oracle.
+	recv, fwd, drop := e.router.Stats()
+	if recv != 2 || fwd != 2 || drop != 0 {
+		t.Fatalf("Stats = %d, %d, %d", recv, fwd, drop)
+	}
+}
+
+func TestRouterWriteOversizedBody413(t *testing.T) {
+	e := newEnv(t, func(cfg *Config) { cfg.MaxBodyBytes = 32 })
+	body := strings.Repeat("cpu,hostname=h1 value=1\n", 4)
+	resp := e.post(t, "/write", body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if n := e.db.PointCount(); n != 0 {
+		t.Fatalf("refused write stored %d points", n)
+	}
+}
+
+// blockingSink blocks WritePoints until released, simulating a stalled
+// database back-end.
+type blockingSink struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *blockingSink) WritePoints(pts []lineproto.Point) error {
+	s.once.Do(func() { close(s.entered) })
+	<-s.release
+	return nil
+}
+
+// TestRouterOverloadSheds drives the router into overload against a
+// stalled sink and asserts excess load is shed with 429 + Retry-After
+// while the admitted request keeps its bounded slot.
+func TestRouterOverloadSheds(t *testing.T) {
+	sink := &blockingSink{entered: make(chan struct{}), release: make(chan struct{})}
+	e := newEnv(t, func(cfg *Config) {
+		cfg.Primary = sink
+		cfg.MaxInFlightRequests = 1
+	})
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(e.srv.URL+"/write", "text/plain",
+			strings.NewReader("cpu,hostname=h1 value=1\n"))
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-sink.entered // first write holds the only admission slot
+
+	resp := e.post(t, "/write", "cpu,hostname=h2 value=2\n")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	out := scrape(t, e.srv.URL)
+	if !strings.Contains(out, "lms_router_shed_requests_total 1") {
+		t.Fatalf("shed not counted:\n%s", out)
+	}
+	if !strings.Contains(out, "lms_router_inflight_requests 1") {
+		t.Fatalf("admitted request not visible in-flight:\n%s", out)
+	}
+
+	close(sink.release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	out = scrape(t, e.srv.URL)
+	if !strings.Contains(out, "lms_router_inflight_requests 0") {
+		t.Fatalf("slot not released:\n%s", out)
+	}
+}

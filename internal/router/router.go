@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/tsdb"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	Now func() time.Time
 	// MaxHistory bounds the retained finished-job records (default 1000).
 	MaxHistory int
+	// MaxBodyBytes caps one /write body; larger payloads are refused with
+	// 413 instead of being silently truncated. 0 selects
+	// tsdb.DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxInFlightRequests / MaxInFlightBytes bound the ingest admission
+	// gate: beyond either budget /write sheds with 429 + Retry-After.
+	// 0 means unlimited for that dimension.
+	MaxInFlightRequests int64
+	MaxInFlightBytes    int64
 }
 
 // Router is the LMS metrics router. Create with New, expose with ServeHTTP.
@@ -68,6 +78,8 @@ type Router struct {
 	mux  *http.ServeMux
 	tags *TagStore
 	jobs *JobRegistry
+	gate *obs.Gate
+	reg  *obs.Registry
 
 	received  atomic.Int64
 	forwarded atomic.Int64
@@ -90,15 +102,59 @@ func New(cfg Config) (*Router, error) {
 		tags: NewTagStore(),
 		jobs: NewJobRegistry(cfg.MaxHistory),
 	}
+	if cfg.MaxInFlightRequests > 0 || cfg.MaxInFlightBytes > 0 {
+		r.gate = obs.NewGate(cfg.MaxInFlightRequests, cfg.MaxInFlightBytes)
+	}
+	r.reg = newRouterMetrics(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/write", r.handleWrite)
 	mux.HandleFunc("/ping", r.handlePing)
+	mux.Handle("/metrics", r.reg.Handler())
 	mux.HandleFunc("/api/job/start", r.handleJobStart)
 	mux.HandleFunc("/api/job/end", r.handleJobEnd)
 	mux.HandleFunc("/api/jobs", r.handleJobs)
 	mux.HandleFunc("/api/job/", r.handleJobInfo)
 	r.mux = mux
 	return r, nil
+}
+
+// newRouterMetrics builds the router's /metrics registry. The pipeline
+// counters already exist as Router atomics (Stats), so everything is a
+// Func metric sampled at scrape time.
+func newRouterMetrics(r *Router) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.NewFunc("lms_router_received_points_total", "Points received by the router pipeline.", "counter",
+		func(emit func(string, float64)) { emit("", float64(r.received.Load())) })
+	reg.NewFunc("lms_router_forwarded_points_total", "Points forwarded to the primary sink.", "counter",
+		func(emit func(string, float64)) { emit("", float64(r.forwarded.Load())) })
+	reg.NewFunc("lms_router_dropped_points_total", "Points dropped on sink errors.", "counter",
+		func(emit func(string, float64)) { emit("", float64(r.dropped.Load())) })
+	reg.NewFunc("lms_router_shed_requests_total", "Ingest requests shed with 429 by the admission gate.", "counter",
+		func(emit func(string, float64)) { emit("", float64(r.gate.Shed())) })
+	reg.NewFunc("lms_router_inflight_requests", "Ingest requests currently admitted.", "gauge",
+		func(emit func(string, float64)) {
+			reqs, _ := r.gate.InFlight()
+			emit("", float64(reqs))
+		})
+	reg.NewFunc("lms_router_inflight_bytes", "Ingest body bytes currently admitted.", "gauge",
+		func(emit func(string, float64)) {
+			_, bytes := r.gate.InFlight()
+			emit("", float64(bytes))
+		})
+	reg.NewFunc("lms_router_jobs_running", "Jobs currently registered in the tag store.", "gauge",
+		func(emit func(string, float64)) { emit("", float64(len(r.jobs.Running()))) })
+	return reg
+}
+
+// Metrics exposes the router's observability registry (the /metrics
+// document), for embedding deployments that mount it elsewhere.
+func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+func (r *Router) maxBody() int64 {
+	if r.cfg.MaxBodyBytes > 0 {
+		return r.cfg.MaxBodyBytes
+	}
+	return tsdb.DefaultMaxBodyBytes
 }
 
 // ServeHTTP implements http.Handler.
@@ -134,9 +190,23 @@ func (r *Router) handleWrite(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+	release, ok := r.gate.Acquire(req.ContentLength)
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "ingest overloaded, retry later")
+		return
+	}
+	defer release()
+	// Read one byte past the cap so an oversized body is refused with 413
+	// instead of silently truncated at a line boundary.
+	max := r.maxBody()
+	body, err := io.ReadAll(io.LimitReader(req.Body, max+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > max {
+		httpError(w, http.StatusRequestEntityTooLarge, "write body exceeds %d bytes", max)
 		return
 	}
 	if err := r.IngestBatch(body); err != nil {

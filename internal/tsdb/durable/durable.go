@@ -87,6 +87,12 @@ type Options struct {
 	Fsync         FsyncPolicy
 	FsyncInterval time.Duration // FsyncEveryInterval period; <=0 selects 100ms
 	SegmentBytes  int64         // rotate segments past this size; <=0 selects 8 MiB
+
+	// SyncObserver, if set, receives the duration of every fsync the WAL
+	// issues (group commits, interval syncs, rotations, Close). The
+	// observability layer (internal/obs) feeds a latency histogram from
+	// it; the callback must be cheap and safe for concurrent use.
+	SyncObserver func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {

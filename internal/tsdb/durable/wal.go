@@ -254,6 +254,20 @@ func syncDir(dir string) error {
 	return cerr
 }
 
+// syncFile fsyncs one file handle, reporting the latency to the
+// configured observer (Options.SyncObserver). Every durability-relevant
+// sync of the log goes through here so the exported fsync histogram sees
+// group commits, interval syncs, rotations and Close alike.
+func (w *WAL) syncFile(f *os.File) error {
+	if obs := w.opts.SyncObserver; obs != nil {
+		start := time.Now()
+		err := f.Sync()
+		obs(time.Since(start))
+		return err
+	}
+	return f.Sync()
+}
+
 // Append writes one framed record and, under FsyncPerBatch, does not
 // return until the record is on stable storage — the write may be
 // acknowledged once Append returns. Concurrent appenders group-commit:
@@ -332,7 +346,7 @@ func (w *WAL) syncThrough(seq int64) error {
 	f := w.f
 	top := w.writeSeq
 	w.mu.Unlock()
-	err := f.Sync()
+	err := w.syncFile(f)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err != nil {
@@ -361,7 +375,7 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return ErrClosed
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncFile(w.f); err != nil {
 		if w.failErr == nil {
 			w.failErr = fmt.Errorf("durable: WAL fsync failed, log sealed: %w", err)
 		}
@@ -395,7 +409,7 @@ func (w *WAL) Rotate() (int, error) {
 }
 
 func (w *WAL) rotateLocked() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncFile(w.f); err != nil {
 		return err
 	}
 	if err := w.f.Close(); err != nil {
@@ -461,7 +475,7 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
-	err := w.f.Sync()
+	err := w.syncFile(w.f)
 	if err == nil {
 		w.syncedSeq = w.writeSeq
 	} else if w.failErr == nil {
@@ -503,7 +517,7 @@ func (w *WAL) syncLoop() {
 		case <-t.C:
 			w.mu.Lock()
 			if w.dirty && !w.closed {
-				if err := w.f.Sync(); err != nil {
+				if err := w.syncFile(w.f); err != nil {
 					// The documented loss bound is one interval; a disk
 					// that stops syncing must seal the log so appends
 					// start failing, not silently widen the window.

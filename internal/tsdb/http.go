@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 )
 
 // Handler exposes a Store over the InfluxDB HTTP API. The LMS router, the
@@ -32,22 +35,77 @@ import (
 // repeated identical queries inside the cache TTL are answered from the
 // query-result cache (cache.go).
 type Handler struct {
-	store *Store
-	mux   *http.ServeMux
+	store   *Store
+	mux     *http.ServeMux
+	metrics *Metrics
 
 	// AutoCreate controls whether /write creates missing databases.
 	AutoCreate bool
+
+	// MaxBodyBytes caps the size of one /write body; larger requests are
+	// refused with 413 Request Entity Too Large instead of being silently
+	// truncated. 0 selects DefaultMaxBodyBytes. Set before serving.
+	MaxBodyBytes int64
+
+	// SlowQueryThreshold, when > 0, logs every /query request that takes
+	// at least this long (and counts it in lms_slow_queries_total). Set
+	// before serving.
+	SlowQueryThreshold time.Duration
+
+	// Logf receives slow-query log lines; nil selects log.Printf. Set
+	// before serving.
+	Logf func(format string, args ...interface{})
+
+	// gate is the ingest admission controller (SetAdmission); nil admits
+	// everything.
+	gate *obs.Gate
 }
 
-// NewHandler returns an HTTP handler serving the store.
+// DefaultMaxBodyBytes is the /write body cap used when Handler.MaxBodyBytes
+// (or router.Config.MaxBodyBytes) is zero.
+const DefaultMaxBodyBytes int64 = 64 << 20
+
+// NewHandler returns an HTTP handler serving the store, including its
+// observability bundle on GET /metrics (Prometheus text format).
 func NewHandler(store *Store) *Handler {
-	h := &Handler{store: store, AutoCreate: true}
+	h := &Handler{store: store, AutoCreate: true, metrics: store.Metrics()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/write", h.handleWrite)
 	mux.HandleFunc("/query", h.handleQuery)
 	mux.HandleFunc("/ping", h.handlePing)
+	mux.Handle("/metrics", h.metrics.Handler())
 	h.mux = mux
 	return h
+}
+
+// SetAdmission bounds the ingest path: at most maxReqs concurrent /write
+// requests holding at most maxBytes summed body bytes are admitted; excess
+// load is shed with 429 + Retry-After (and counted in
+// lms_http_requests_shed_total) instead of piling up goroutines and
+// buffers. Either bound <= 0 is unlimited. Call before serving.
+func (h *Handler) SetAdmission(maxReqs, maxBytes int64) {
+	if maxReqs <= 0 && maxBytes <= 0 {
+		h.gate = nil
+		h.metrics.setGate(nil)
+		return
+	}
+	h.gate = obs.NewGate(maxReqs, maxBytes)
+	h.metrics.setGate(h.gate)
+}
+
+func (h *Handler) maxBody() int64 {
+	if h.MaxBodyBytes > 0 {
+		return h.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+func (h *Handler) logf(format string, args ...interface{}) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // ServeHTTP implements http.Handler.
@@ -87,11 +145,60 @@ func precisionMult(p string) (int64, error) {
 	}
 }
 
+// shedRequest refuses an ingest request the admission gate would not
+// admit: 429 with a Retry-After hint, the standard backpressure signal
+// for InfluxDB-protocol writers.
+func shedRequest(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, "ingest overloaded, retry later")
+}
+
+// readBodyLimited reads a request body of at most max bytes. A body larger
+// than max reports tooLarge=true: reading on a truncating limit and
+// parsing the prefix would silently drop the tail (a 64 MiB body cut at a
+// line boundary parses cleanly!), so callers refuse with 413 instead.
+func readBodyLimited(r io.Reader, max int64) (body []byte, tooLarge bool, err error) {
+	body, err = io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(body)) > max {
+		return nil, true, nil
+	}
+	return body, false, nil
+}
+
+// scaleTimes converts point timestamps parsed in the given precision to
+// nanoseconds, rejecting values whose scaled form overflows int64 — an
+// unchecked multiply would silently wrap into a garbage time.
+func scaleTimes(pts []lineproto.Point, mult int64) error {
+	if mult == 1 {
+		return nil
+	}
+	for i := range pts {
+		if pts[i].Time.IsZero() {
+			continue
+		}
+		ns := pts[i].Time.UnixNano()
+		if ns > math.MaxInt64/mult || ns < math.MinInt64/mult {
+			return fmt.Errorf("point %d: timestamp %d overflows the time range at this precision", i, ns)
+		}
+		pts[i].Time = time.Unix(0, ns*mult).UTC()
+	}
+	return nil
+}
+
 func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	release, ok := h.gate.Acquire(r.ContentLength)
+	if !ok {
+		shedRequest(w)
+		return
+	}
+	defer release()
 	dbName := r.URL.Query().Get("db")
 	if dbName == "" {
 		httpError(w, http.StatusBadRequest, "missing db parameter")
@@ -118,9 +225,13 @@ func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	body, tooLarge, err := readBodyLimited(r.Body, h.maxBody())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if tooLarge {
+		httpError(w, http.StatusRequestEntityTooLarge, "write body exceeds %d bytes", h.maxBody())
 		return
 	}
 	pts, err := lineproto.Parse(body)
@@ -128,17 +239,15 @@ func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if mult != 1 {
-		for i := range pts {
-			if !pts[i].Time.IsZero() {
-				pts[i].Time = time.Unix(0, pts[i].Time.UnixNano()*mult).UTC()
-			}
-		}
+	if err := scaleTimes(pts, mult); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	if err := db.WriteBatch(pts); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	h.metrics.IngestBytes.Add(uint64(len(body)))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -189,14 +298,27 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := ExecOptions{Epoch: epoch, Limit: limit}
 	dbName := params.Get("db")
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		h.metrics.QuerySeconds.Observe(elapsed.Seconds())
+		if h.SlowQueryThreshold > 0 && elapsed >= h.SlowQueryThreshold {
+			h.metrics.SlowQueries.Inc()
+			h.logf("tsdb: slow query (%v >= %v) db=%q q=%q", elapsed, h.SlowQueryThreshold, dbName, qstr)
+		}
+	}()
 	w.Header().Set("Content-Type", "application/json")
 	if params.Get("chunked") == "true" {
 		// Chunked: one complete {"results":[...]} document per statement,
 		// flushed as soon as it is computed. The client side merges the
-		// stream back into one Response (readResponseStream).
+		// stream back into one Response (readResponseStream) and checks it
+		// received one result per statement; if execution dies mid-stream
+		// a best-effort trailing error document turns the truncation into
+		// an explicit per-statement error instead of a valid-looking short
+		// stream.
 		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
-		_ = execStatements(r.Context(), h.store, dbName, stmts, opts, func(res ExecResult) error {
+		if err := execStatements(r.Context(), h.store, dbName, stmts, opts, func(res ExecResult) error {
 			if err := enc.Encode(Response{Results: []ExecResult{res}}); err != nil {
 				return err
 			}
@@ -204,7 +326,9 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 			return nil
-		})
+		}); err != nil {
+			_ = enc.Encode(Response{Results: []ExecResult{{Err: fmt.Sprintf("stream truncated: %v", err)}}})
+		}
 		return
 	}
 	resp := Response{}
@@ -212,7 +336,11 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, res)
 		return nil
 	}); err != nil {
-		return // client gone; nothing sensible left to write
+		// Usually the client is gone; if the connection still works, the
+		// error document below keeps the truncation from looking like a
+		// complete (empty) result.
+		_ = json.NewEncoder(w).Encode(Response{Results: []ExecResult{{Err: fmt.Sprintf("stream truncated: %v", err)}}})
+		return
 	}
 	_ = json.NewEncoder(w).Encode(resp)
 }
@@ -336,8 +464,15 @@ func (c *Client) WritePoints(pts []lineproto.Point) error {
 // exponential backoff, honoring ctx.
 func (c *Client) Query(ctx context.Context, req Request) (Response, error) {
 	qtext := req.RawQuery
-	if len(req.Statements) > 0 {
+	expect := len(req.Statements)
+	if expect > 0 {
 		qtext = textOf(req.Statements)
+	} else if stmts, err := ParseQuery(req.RawQuery); err == nil {
+		// The server answers one result per statement; knowing the count
+		// lets the client detect a truncated (chunked) stream. RawQuery
+		// text our InfluxQL subset cannot parse may still be valid for a
+		// real InfluxDB, so a parse failure just disables the check.
+		expect = len(stmts)
 	}
 	dbName := req.Database
 	if dbName == "" {
@@ -370,7 +505,7 @@ func (c *Client) Query(ctx context.Context, req Request) (Response, error) {
 			}
 			backoff *= 2
 		}
-		resp, retryable, err := c.queryOnce(ctx, u)
+		resp, retryable, err := c.queryOnce(ctx, u, expect)
 		if err == nil {
 			return resp, nil
 		}
@@ -382,9 +517,13 @@ func (c *Client) Query(ctx context.Context, req Request) (Response, error) {
 }
 
 // queryOnce performs one GET /query round-trip. retryable reports whether
-// the failure is transient (network error, 5xx) rather than a caller
-// mistake (4xx, malformed body).
-func (c *Client) queryOnce(ctx context.Context, u string) (Response, bool, error) {
+// the failure is transient (network error, 5xx, truncated stream) rather
+// than a caller mistake (4xx, malformed body). expect > 0 is the known
+// statement count of the request: a 2xx body carrying fewer results is a
+// truncated stream — a mid-flight failure of the chunked path leaves a
+// valid-looking but short document sequence — and is surfaced (and
+// retried) instead of silently merged.
+func (c *Client) queryOnce(ctx context.Context, u string, expect int) (Response, bool, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return Response{}, false, err
@@ -402,6 +541,10 @@ func (c *Client) queryOnce(ctx context.Context, u string) (Response, bool, error
 	resp, err := readResponseStream(hresp.Body)
 	if err != nil {
 		return Response{}, false, fmt.Errorf("tsdb: decode query response: %w", err)
+	}
+	if expect > 0 && len(resp.Results) < expect {
+		return Response{}, true,
+			fmt.Errorf("tsdb: truncated query response: %d statements produced %d results", expect, len(resp.Results))
 	}
 	return resp, false, nil
 }

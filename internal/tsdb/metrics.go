@@ -1,0 +1,181 @@
+package tsdb
+
+// Self-observability of the storage engine (DESIGN.md §10). Every Store
+// carries a Metrics bundle — obs instruments fed by the hot paths —
+// rendered on GET /metrics by the HTTP handler:
+//
+//   - lms_ingest_points_total / lms_ingest_batches_total: WriteBatch
+//     acknowledgements (recovery replay is not ingest and does not count);
+//   - lms_dropped_points_total: points in batches the engine refused
+//     (validation failures, WAL append errors, writes after Close);
+//   - lms_ingest_bytes_total: /write body bytes accepted by the handler;
+//   - lms_wal_fsync_seconds: latency of every WAL fsync (group commits,
+//     interval syncs, rotations, Close), via durable.Options.SyncObserver;
+//   - lms_checkpoints_total: completed columnar checkpoints;
+//   - lms_query_seconds + lms_slow_queries_total: /query handler latency
+//     and the slow-query log counter (Handler.SlowQueryThreshold);
+//   - lms_http_requests_shed_total, lms_http_inflight_requests/bytes:
+//     the ingest admission gate (Handler.SetAdmission);
+//   - per-database Func metrics sampled at scrape time: query-cache
+//     hits/misses (the cache keeps its own atomics), resident points per
+//     DB and per shard (the "queue depth" of each lock domain), and busy
+//     query-pool workers.
+//
+// The bundle is created with the Store, so instrument pointers are always
+// valid; databases opened through the store carry a reference for the
+// write-path counters. Standalone DBs (NewDB, never attached) simply skip
+// metrics — every hook is nil-safe.
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the observability bundle of one Store.
+type Metrics struct {
+	reg *obs.Registry
+
+	IngestPoints  *obs.Counter
+	IngestBatches *obs.Counter
+	IngestBytes   *obs.Counter
+	DroppedPoints *obs.Counter
+	Checkpoints   *obs.Counter
+	SlowQueries   *obs.Counter
+	WALFsync      *obs.Histogram
+	QuerySeconds  *obs.Histogram
+
+	// gate is the ingest admission gate installed by Handler.SetAdmission;
+	// the shed/in-flight Func metrics sample it at scrape time.
+	gate atomic.Pointer[obs.Gate]
+}
+
+// newMetrics registers the store-level instruments and the per-database
+// sampling funcs over s.
+func newMetrics(s *Store) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:           reg,
+		IngestPoints:  reg.NewCounter("lms_ingest_points_total", "Points acknowledged by WriteBatch."),
+		IngestBatches: reg.NewCounter("lms_ingest_batches_total", "Batches acknowledged by WriteBatch."),
+		IngestBytes:   reg.NewCounter("lms_ingest_bytes_total", "Line-protocol body bytes accepted by /write."),
+		DroppedPoints: reg.NewCounter("lms_dropped_points_total", "Points in batches the engine refused (validation, WAL failure, closed DB)."),
+		Checkpoints:   reg.NewCounter("lms_checkpoints_total", "Completed columnar checkpoints."),
+		SlowQueries:   reg.NewCounter("lms_slow_queries_total", "Queries slower than the slow-query threshold."),
+		WALFsync:      reg.NewHistogram("lms_wal_fsync_seconds", "WAL fsync latency.", nil),
+		QuerySeconds:  reg.NewHistogram("lms_query_seconds", "/query request latency.", nil),
+	}
+	reg.NewFunc("lms_http_requests_shed_total", "Ingest requests shed with 429 by the admission gate.", "counter",
+		func(emit func(string, float64)) {
+			emit("", float64(m.gate.Load().Shed()))
+		})
+	reg.NewFunc("lms_http_inflight_requests", "Ingest requests currently admitted.", "gauge",
+		func(emit func(string, float64)) {
+			reqs, _ := m.gate.Load().InFlight()
+			emit("", float64(reqs))
+		})
+	reg.NewFunc("lms_http_inflight_bytes", "Ingest body bytes currently admitted.", "gauge",
+		func(emit func(string, float64)) {
+			_, bytes := m.gate.Load().InFlight()
+			emit("", float64(bytes))
+		})
+	reg.NewFunc("lms_db_query_cache_hits_total", "Select calls served from the query-result cache.", "counter",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				hits, _ := db.QueryCacheStats()
+				emit(obs.L("db", db.Name()), float64(hits))
+			}
+		})
+	reg.NewFunc("lms_db_query_cache_misses_total", "Select calls that executed the engine.", "counter",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				_, misses := db.QueryCacheStats()
+				emit(obs.L("db", db.Name()), float64(misses))
+			}
+		})
+	reg.NewFunc("lms_db_points", "Resident points per database.", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				emit(obs.L("db", db.Name()), float64(db.PointCount()))
+			}
+		})
+	reg.NewFunc("lms_db_shard_points", "Resident points per lock shard.", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				for i, n := range db.shardPointCounts() {
+					emit(obs.L("db", db.Name(), "shard", strconv.Itoa(i)), float64(n))
+				}
+			}
+		})
+	reg.NewFunc("lms_db_query_workers_busy", "Query-pool workers currently aggregating.", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				emit(obs.L("db", db.Name()), float64(len(db.qsem)))
+			}
+		})
+	return m
+}
+
+// Registry exposes the underlying obs registry (the /metrics document).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Handler serves the metrics as a Prometheus scrape endpoint.
+func (m *Metrics) Handler() http.Handler { return m.reg.Handler() }
+
+// setGate installs the admission gate sampled by the shed/in-flight
+// metrics.
+func (m *Metrics) setGate(g *obs.Gate) { m.gate.Store(g) }
+
+// Metrics returns the store's observability bundle.
+func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// --- DB-side hooks (nil-safe: standalone DBs carry no bundle) -------------
+
+// noteIngest counts an acknowledged batch.
+func (db *DB) noteIngest(points int) {
+	if m := db.metrics.Load(); m != nil {
+		m.IngestPoints.Add(uint64(points))
+		m.IngestBatches.Inc()
+	}
+}
+
+// noteDrop counts a refused batch.
+func (db *DB) noteDrop(points int) {
+	if m := db.metrics.Load(); m != nil {
+		m.DroppedPoints.Add(uint64(points))
+	}
+}
+
+// noteCheckpoint counts a completed checkpoint.
+func (db *DB) noteCheckpoint() {
+	if m := db.metrics.Load(); m != nil {
+		m.Checkpoints.Inc()
+	}
+}
+
+// observeFsync feeds the WAL fsync histogram (durable.Options.SyncObserver).
+func (db *DB) observeFsync(d time.Duration) {
+	if m := db.metrics.Load(); m != nil {
+		m.WALFsync.Observe(d.Seconds())
+	}
+}
+
+// shardPointCounts returns the resident point count of every lock shard.
+func (db *DB) shardPointCounts() []int {
+	out := make([]int, len(db.shards))
+	for i, sh := range db.shards {
+		sh.mu.RLock()
+		n := 0
+		for _, m := range sh.measurements {
+			for _, sr := range m.series {
+				n += sr.totalPoints()
+			}
+		}
+		sh.mu.RUnlock()
+		out[i] = n
+	}
+	return out
+}

@@ -187,6 +187,7 @@ func (db *DB) Checkpoint() error {
 		return fmt.Errorf("tsdb: checkpoint: %w", err)
 	}
 	d.lastCkpt.Store(time.Now().UnixNano())
+	db.noteCheckpoint()
 	return d.wal.RemoveBelow(seg)
 }
 
@@ -261,7 +262,12 @@ func openDurableDB(name string, shards int, opts Durability) (*DB, error) {
 	if snap != nil {
 		db.loadSnapshot(snap)
 	}
-	wal, err := durable.OpenWAL(dir, floor, opts.walOptions(), func(payload []byte) error {
+	wo := opts.walOptions()
+	// Feed the WAL fsync latency histogram (metrics.go). The DB reads its
+	// metrics pointer per observation, so attaching the bundle after the
+	// open (openLocked does) still instruments every later sync.
+	wo.SyncObserver = db.observeFsync
+	wal, err := durable.OpenWAL(dir, floor, wo, func(payload []byte) error {
 		pts, err := durable.DecodeBatch(payload)
 		if err != nil {
 			return fmt.Errorf("tsdb: WAL replay of %q: %w", name, err)
@@ -523,6 +529,7 @@ func (s *Store) openLocked(name string) (*DB, error) {
 	if s.QueryWorkersPerDB > 0 {
 		db.SetQueryWorkers(s.QueryWorkersPerDB)
 	}
+	db.metrics.Store(s.metrics)
 	s.dbs[name] = db
 	return db, nil
 }

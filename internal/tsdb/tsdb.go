@@ -102,6 +102,10 @@ type Store struct {
 	durOpts Durability
 	dirLock *os.File
 
+	// metrics is the observability bundle (metrics.go, DESIGN.md §10),
+	// created with the store and attached to every database it opens.
+	metrics *Metrics
+
 	mu     sync.RWMutex
 	dbs    map[string]*DB
 	closed bool // set by Close/Abort; durable opens are refused after
@@ -109,7 +113,9 @@ type Store struct {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{dbs: make(map[string]*DB)}
+	s := &Store{dbs: make(map[string]*DB)}
+	s.metrics = newMetrics(s)
+	return s
 }
 
 // CreateDatabase creates (or returns the existing) database with that
@@ -130,6 +136,7 @@ func (s *Store) CreateDatabase(name string) *DB {
 		if s.QueryWorkersPerDB > 0 {
 			db.SetQueryWorkers(s.QueryWorkersPerDB)
 		}
+		db.metrics.Store(s.metrics)
 	}
 	return db
 }
@@ -140,6 +147,7 @@ func (s *Store) CreateDatabase(name string) *DB {
 func (s *Store) Attach(db *DB) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	db.metrics.Store(s.metrics)
 	s.dbs[db.name] = db
 }
 
@@ -196,6 +204,11 @@ type DB struct {
 	// Close/Abort; durable writes check it.
 	dur    *durability
 	closed atomic.Bool
+
+	// metrics points at the owning store's observability bundle
+	// (metrics.go); nil for standalone DBs. Atomic because Attach may
+	// publish a bundle onto a DB that is already serving writes.
+	metrics atomic.Pointer[Metrics]
 
 	// Background retention ticker (SetRetention), so expired data ages
 	// out of an idle database too. retStop is the live ticker's stop
@@ -489,17 +502,25 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 	}
 	for i := range pts {
 		if err := pts[i].Validate(); err != nil {
+			db.noteDrop(len(pts))
 			return fmt.Errorf("point %d: %w", i, err)
 		}
 	}
 	now := time.Now()
 	if db.dur != nil {
 		if db.closed.Load() {
+			db.noteDrop(len(pts))
 			return ErrDBClosed
 		}
-		return db.dur.writeDurable(db, pts, now)
+		if err := db.dur.writeDurable(db, pts, now); err != nil {
+			db.noteDrop(len(pts))
+			return err
+		}
+		db.noteIngest(len(pts))
+		return nil
 	}
 	db.applyBatch(pts, now)
+	db.noteIngest(len(pts))
 	return nil
 }
 
