@@ -14,7 +14,9 @@
 // With -data-dir the store is durable (DESIGN.md §9): batches are logged
 // to a write-ahead log before they are acknowledged (-fsync selects the
 // sync policy), checkpoints persist the columnar state, and a restart
-// recovers every database in the directory. SIGINT/SIGTERM shut the
+// recovers every database in the directory. -segment-bytes and
+// -checkpoint-bytes tune WAL rotation and checkpoint cadence (the chaos
+// harness shrinks both so crash-kills land mid-checkpoint). SIGINT/SIGTERM shut the
 // server down gracefully: in-flight requests finish, the WAL is flushed
 // and a final checkpoint is written.
 //
@@ -51,6 +53,8 @@ func run(args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "lock shards per database (0 = GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	fsync := fs.String("fsync", "batch", "WAL fsync policy with -data-dir: batch, interval or off")
+	segmentBytes := fs.Int64("segment-bytes", 0, "rotate WAL segments past this many bytes with -data-dir (0 = 8 MiB)")
+	checkpointBytes := fs.Int64("checkpoint-bytes", 0, "checkpoint once the live WAL exceeds this many bytes with -data-dir (0 = 32 MiB)")
 	slowQuery := fs.Duration("slow-query", 0, "log /query requests at least this slow (0 = off)")
 	maxBodyMB := fs.Int64("max-body-mb", 0, "refuse /write bodies above this many MiB with 413 (0 = 64)")
 	maxInflightMB := fs.Int64("max-inflight-mb", 0, "shed /write with 429 beyond this many MiB of in-flight bodies (0 = unlimited)")
@@ -65,7 +69,10 @@ func run(args []string, stdout io.Writer) error {
 
 	store, err := tsdb.OpenStore(tsdb.StoreOptions{
 		ShardsPerDB: *shards,
-		Durability:  tsdb.Durability{Dir: *dataDir, Fsync: policy},
+		Durability: tsdb.Durability{
+			Dir: *dataDir, Fsync: policy,
+			SegmentBytes: *segmentBytes, CheckpointBytes: *checkpointBytes,
+		},
 	})
 	if err != nil {
 		return err

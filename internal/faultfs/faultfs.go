@@ -1,0 +1,482 @@
+// Package faultfs is a deterministic, fault-injectable in-memory
+// filesystem implementing the fsys.FS seam under the durable storage
+// engine (DESIGN.md §11). The chaos sweeps drive the real WAL and
+// checkpoint code against it to prove the ack invariant: for every
+// possible fault point, a write is either durably acknowledged or
+// refused — never acknowledged and then lost.
+//
+// # Fault model
+//
+// Every mutating operation (create/truncate open, write, file sync,
+// remove, rename, truncate, dir sync) consumes one index from a global
+// operation counter. An injection hook inspects each operation before it
+// applies and may fail it:
+//
+//   - a transient error (EIO on the k-th op: the disk hiccuped once,
+//     later operations succeed),
+//   - a short write (the first Keep bytes land, the rest do not — torn
+//     frames),
+//   - ENOSPC via a byte budget (writes consume it; once exhausted they
+//     fail partially, like a filling disk),
+//   - power loss (Fault.Dead or KillAtOp: the op and everything after it
+//     fails, until Crash() "reboots" the machine).
+//
+// # Durability model
+//
+// Each file is an inode holding volatile content (what reads see — the
+// page cache) and synced content (what survives a power cut — the
+// platter). File.Sync/SyncFile promote volatile to synced. The namespace
+// is similarly split: a created, renamed or removed directory entry only
+// survives a power cut after SyncDir on its parent — fsync(fd) persists
+// bytes, fsync(dirfd) persists names, exactly the two barriers POSIX
+// distinguishes. Crash() discards every unsynced byte and every
+// uncommitted namespace change; a reopen then observes what a machine
+// would find on its disk after power returns. Closing files never syncs,
+// so an Abort-style process crash (no Crash call) keeps volatile state —
+// the kernel survives a process, only a power cut kills the page cache.
+//
+// Directories themselves (MkdirAll) are modeled as immediately durable;
+// the storage engine creates its directory once and syncs it before any
+// acknowledgement, so the simplification cannot mask a lost ack.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"repro/internal/fsys"
+)
+
+// Canonical injectable errors. ErrNoSpace is also what budget
+// exhaustion returns, so sweeps can match on it.
+var (
+	ErrNoSpace = error(syscall.ENOSPC)
+	ErrIO      = error(syscall.EIO)
+)
+
+// Op identifies one mutating filesystem operation class.
+type Op uint8
+
+// The mutating operation classes, in the order the engine issues them.
+const (
+	OpOpen     Op = iota // OpenFile with O_CREATE or O_TRUNC
+	OpWrite              // File.Write
+	OpSync               // File.Sync / SyncFile
+	OpRemove             // Remove
+	OpRename             // Rename
+	OpTruncate           // Truncate
+	OpSyncDir            // SyncDir
+)
+
+// String returns the lowercase op name.
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRemove:
+		return "remove"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	case OpSyncDir:
+		return "syncdir"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Info describes one operation about to be applied, handed to the
+// injection hook.
+type Info struct {
+	Op    Op
+	Path  string // target path (new path for renames)
+	Index int64  // global op index, starting at 0
+	Size  int    // byte count for writes
+}
+
+// Fault is the hook's verdict on one operation.
+type Fault struct {
+	// Err fails the operation. For writes, Keep bytes still land first.
+	Err error
+	// Keep is the number of bytes of a write applied before failing — a
+	// short write. Zero fails the whole write.
+	Keep int
+	// Dead kills the machine: this operation and every later one fail
+	// with ErrPowerLost until Crash() reboots.
+	Dead bool
+}
+
+// ErrPowerLost is returned by every operation after the simulated
+// machine died (Fault.Dead, KillAtOp) until Crash() reboots it.
+var ErrPowerLost = errors.New("faultfs: power lost")
+
+// inode is one file: volatile content (page cache) plus the synced
+// content that survives a power cut.
+type inode struct {
+	data   []byte // volatile: what reads observe
+	synced []byte // durable: what Crash() restores
+}
+
+// FS is one fault-injectable filesystem. The zero value is not usable;
+// call New.
+type FS struct {
+	mu     sync.Mutex
+	files  map[string]*inode // volatile namespace: path -> inode
+	durs   map[string]*inode // durable namespace: entries that survive a power cut
+	dirs   map[string]bool
+	ops    int64
+	inject func(Info) *Fault
+	budget int64 // remaining writable bytes; <0 = unlimited
+	dead   error // non-nil after power loss, cleared by Crash
+}
+
+var _ fsys.FS = (*FS)(nil)
+
+// New returns an empty filesystem with no faults armed and an unlimited
+// disk budget.
+func New() *FS {
+	return &FS{
+		files:  make(map[string]*inode),
+		durs:   make(map[string]*inode),
+		dirs:   make(map[string]bool),
+		budget: -1,
+	}
+}
+
+// SetInject installs (or, with nil, clears) the fault hook consulted
+// before every mutating operation.
+func (fs *FS) SetInject(fn func(Info) *Fault) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.inject = fn
+}
+
+// FailOp arms a single transient fault: operation index idx fails with
+// err, every other operation succeeds.
+func (fs *FS) FailOp(idx int64, err error) {
+	fs.SetInject(func(i Info) *Fault {
+		if i.Index == idx {
+			return &Fault{Err: err}
+		}
+		return nil
+	})
+}
+
+// KillAtOp cuts the power just before operation index idx: it and every
+// later operation fail with ErrPowerLost until Crash().
+func (fs *FS) KillAtOp(idx int64) {
+	fs.SetInject(func(i Info) *Fault {
+		if i.Index >= idx {
+			return &Fault{Err: ErrPowerLost, Dead: true}
+		}
+		return nil
+	})
+}
+
+// SetDiskBudget bounds the bytes future writes may consume before they
+// fail with ENOSPC (negative = unlimited). A write that overruns the
+// budget lands partially, like a real disk filling mid-write.
+func (fs *FS) SetDiskBudget(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.budget = n
+}
+
+// Ops returns the number of mutating operations issued so far. Sweeps
+// rehearse a scenario once to learn its length, then re-run it injecting
+// a fault at every index.
+func (fs *FS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crash simulates the power cut completing and the machine rebooting:
+// every file reverts to its synced content, uncommitted namespace
+// changes (creates, renames, removes never followed by SyncDir) are
+// rolled back, and the dead state is cleared. The injection hook and
+// disk budget are left as the test configured them.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dead = nil
+	fs.files = make(map[string]*inode, len(fs.durs))
+	for p, ino := range fs.durs {
+		restored := &inode{
+			data:   append([]byte(nil), ino.synced...),
+			synced: append([]byte(nil), ino.synced...),
+		}
+		fs.files[p] = restored
+		fs.durs[p] = restored
+	}
+}
+
+// step consumes one op index and consults the fault machinery. Callers
+// hold fs.mu. The returned fault is nil when the op should apply fully.
+func (fs *FS) step(op Op, path string, size int) (int64, *Fault) {
+	idx := fs.ops
+	fs.ops++
+	if fs.dead != nil {
+		return idx, &Fault{Err: fs.dead, Dead: true}
+	}
+	if fs.inject != nil {
+		if flt := fs.inject(Info{Op: op, Path: path, Index: idx, Size: size}); flt != nil {
+			if flt.Dead {
+				fs.dead = flt.Err
+				if fs.dead == nil {
+					fs.dead = ErrPowerLost
+				}
+			}
+			return idx, flt
+		}
+	}
+	return idx, nil
+}
+
+// file is one open handle.
+type file struct {
+	fs     *FS
+	path   string
+	ino    *inode
+	closed bool
+}
+
+// OpenFile implements fsys.FS. Only the flag combinations the storage
+// engine uses are supported: O_CREATE|O_TRUNC|O_WRONLY and
+// O_WRONLY|O_APPEND.
+func (fs *FS) OpenFile(name string, flag int, _ os.FileMode) (fsys.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino := fs.files[name]
+	mutates := flag&(os.O_CREATE|os.O_TRUNC) != 0
+	if mutates {
+		if _, flt := fs.step(OpOpen, name, 0); flt != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: flt.Err}
+		}
+	}
+	switch {
+	case ino == nil && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	case ino == nil:
+		ino = &inode{}
+		fs.files[name] = ino
+	case flag&os.O_TRUNC != 0:
+		ino.data = nil // volatile truncation; synced content stands until fsync
+	}
+	return &file{fs: fs, path: name, ino: ino}, nil
+}
+
+// Write implements fsys.File with append semantics (the only write
+// pattern the engine uses). Short writes land a prefix.
+func (f *file) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	keep := len(p)
+	var ferr error
+	if _, flt := fs.step(OpWrite, f.path, len(p)); flt != nil {
+		keep = flt.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		ferr = flt.Err
+	}
+	if fs.budget >= 0 {
+		if int64(keep) > fs.budget {
+			keep = int(fs.budget)
+			if ferr == nil {
+				ferr = &os.PathError{Op: "write", Path: f.path, Err: ErrNoSpace}
+			}
+		}
+		fs.budget -= int64(keep)
+	}
+	f.ino.data = append(f.ino.data, p[:keep]...)
+	if ferr != nil {
+		return keep, ferr
+	}
+	return len(p), nil
+}
+
+// Sync implements fsys.File: volatile content becomes durable.
+func (f *file) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	return fs.syncInodeLocked(f.path, f.ino)
+}
+
+func (fs *FS) syncInodeLocked(path string, ino *inode) error {
+	if _, flt := fs.step(OpSync, path, 0); flt != nil {
+		return &os.PathError{Op: "sync", Path: path, Err: flt.Err}
+	}
+	ino.synced = append(ino.synced[:0], ino.data...)
+	return nil
+}
+
+// Close implements fsys.File. Closing never syncs: unsynced bytes stay
+// volatile, exactly like a real close.
+func (f *file) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// ReadFile implements fsys.FS, serving volatile (page cache) content.
+// Reads fail too while the machine is dead — nothing runs without power.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dead != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: fs.dead}
+	}
+	ino := fs.files[name]
+	if ino == nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// ReadDirNames implements fsys.FS over the volatile namespace.
+func (fs *FS) ReadDirNames(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	seen := map[string]bool{}
+	for p := range fs.files {
+		if filepath.Dir(p) == dir {
+			seen[filepath.Base(p)] = true
+		}
+	}
+	for d := range fs.dirs {
+		if filepath.Dir(d) == dir {
+			seen[filepath.Base(d)] = true
+		}
+	}
+	if len(seen) == 0 && !fs.dirs[dir] {
+		return nil, &os.PathError{Op: "readdir", Path: dir, Err: os.ErrNotExist}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements fsys.FS. Directories are immediately durable (see
+// the package comment).
+func (fs *FS) MkdirAll(dir string, _ os.FileMode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	for dir != "." && dir != "/" && dir != "" {
+		fs.dirs[dir] = true
+		dir = filepath.Dir(dir)
+	}
+	return nil
+}
+
+// Remove implements fsys.FS. The durable entry lingers until SyncDir —
+// a power cut may resurrect the file.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, flt := fs.step(OpRemove, name, 0); flt != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: flt.Err}
+	}
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename implements fsys.FS. Durable only after SyncDir.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, flt := fs.step(OpRename, newpath, 0); flt != nil {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: flt.Err}
+	}
+	ino, ok := fs.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	fs.files[newpath] = ino
+	delete(fs.files, oldpath)
+	return nil
+}
+
+// Truncate implements fsys.FS (volatile until the file is synced).
+func (fs *FS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, flt := fs.step(OpTruncate, name, 0); flt != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: flt.Err}
+	}
+	ino := fs.files[name]
+	if ino == nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	for int64(len(ino.data)) < size {
+		ino.data = append(ino.data, 0)
+	}
+	ino.data = ino.data[:size]
+	return nil
+}
+
+// SyncFile implements fsys.FS: fsync by path.
+func (fs *FS) SyncFile(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino := fs.files[name]
+	if ino == nil {
+		return &os.PathError{Op: "sync", Path: name, Err: os.ErrNotExist}
+	}
+	return fs.syncInodeLocked(name, ino)
+}
+
+// SyncDir implements fsys.FS: the directory's volatile namespace becomes
+// its durable namespace — creations, renames and removals in dir now
+// survive a power cut.
+func (fs *FS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if _, flt := fs.step(OpSyncDir, dir, 0); flt != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: flt.Err}
+	}
+	for p, ino := range fs.files {
+		if filepath.Dir(p) == dir {
+			fs.durs[p] = ino
+		}
+	}
+	for p := range fs.durs {
+		if filepath.Dir(p) == dir {
+			if _, ok := fs.files[p]; !ok {
+				delete(fs.durs, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func mustOpen(t *testing.T, fs *FS, name string, flag int) interface {
+	Write([]byte) (int, error)
+	Sync() error
+	Close() error
+} {
+	t.Helper()
+	f, err := fs.OpenFile(name, flag, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	return f
+}
+
+func readAll(t *testing.T, fs *FS, name string) string {
+	t.Helper()
+	b, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(b)
+}
+
+func TestWriteSyncCrashKeepsSyncedBytesOnly(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, fs, "d/f"); got != "durable+volatile" {
+		t.Fatalf("volatile read = %q", got)
+	}
+	fs.Crash()
+	if got := readAll(t, fs, "d/f"); got != "durable" {
+		t.Fatalf("post-crash read = %q, want synced prefix only", got)
+	}
+}
+
+func TestCrashDropsUnsyncedDirectoryEntries(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/never-syncdired", os.O_CREATE|os.O_WRONLY)
+	f.Write([]byte("x"))
+	f.Sync() // file bytes synced, but the entry never was
+	fs.Crash()
+	if _, err := fs.ReadFile("d/never-syncdired"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("entry survived crash without SyncDir: %v", err)
+	}
+}
+
+func TestCrashResurrectsRemovedFileUntilSyncDir(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY)
+	f.Write([]byte("keep"))
+	f.Sync()
+	fs.SyncDir("d")
+
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("volatile remove not visible: %v", err)
+	}
+	fs.Crash() // removal never made durable
+	if got := readAll(t, fs, "d/f"); got != "keep" {
+		t.Fatalf("removed-but-unsynced file should resurrect, got %q", got)
+	}
+
+	fs.Remove("d/f")
+	fs.SyncDir("d")
+	fs.Crash()
+	if _, err := fs.ReadFile("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("durably removed file resurrected: %v", err)
+	}
+}
+
+func TestRenameDurableOnlyAfterSyncDir(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/tmp", os.O_CREATE|os.O_WRONLY)
+	f.Write([]byte("snap"))
+	f.Sync()
+	fs.SyncDir("d")
+	if err := fs.Rename("d/tmp", "d/final"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash() // rename not yet durable: old name returns
+	if got := readAll(t, fs, "d/tmp"); got != "snap" {
+		t.Fatalf("pre-syncdir crash should keep old name, got %q", got)
+	}
+	if _, err := fs.ReadFile("d/final"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("new name durable without SyncDir: %v", err)
+	}
+
+	fs.Rename("d/tmp", "d/final")
+	fs.SyncDir("d")
+	fs.Crash()
+	if got := readAll(t, fs, "d/final"); got != "snap" {
+		t.Fatalf("post-syncdir rename lost: %q", got)
+	}
+}
+
+func TestFailOpInjectsOnceAtIndex(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY) // op 0
+	fs.FailOp(2, ErrIO)
+	if _, err := f.Write([]byte("a")); err != nil { // op 1
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrIO) { // op 2
+		t.Fatalf("op 2 want EIO, got %v", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil { // op 3: transient fault cleared
+		t.Fatalf("op 3 should pass: %v", err)
+	}
+	if got := readAll(t, fs, "d/f"); got != "ac" {
+		t.Fatalf("failed write landed bytes: %q", got)
+	}
+}
+
+func TestShortWriteKeepsPrefix(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY)
+	fs.SetInject(func(i Info) *Fault {
+		if i.Op == OpWrite {
+			return &Fault{Err: ErrIO, Keep: 3}
+		}
+		return nil
+	})
+	n, err := f.Write([]byte("torn-frame"))
+	if n != 3 || !errors.Is(err, ErrIO) {
+		t.Fatalf("short write = (%d, %v), want (3, EIO)", n, err)
+	}
+	if got := readAll(t, fs, "d/f"); got != "tor" {
+		t.Fatalf("short write landed %q", got)
+	}
+}
+
+func TestDiskBudgetENOSPCPartialWrite(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY)
+	fs.SetDiskBudget(5)
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	n, err := f.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overrun = (%d, %v), want (2, ENOSPC)", n, err)
+	}
+	if _, err := f.Write([]byte("h")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted budget should keep failing: %v", err)
+	}
+	if got := readAll(t, fs, "d/f"); got != "abcde" {
+		t.Fatalf("budget content = %q", got)
+	}
+}
+
+func TestKillAtOpDeadUntilCrash(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY) // op 0
+	f.Write([]byte("synced"))                            // op 1
+	f.Sync()                                             // op 2
+	fs.SyncDir("d")                                      // op 3
+	fs.KillAtOp(5)
+	f.Write([]byte("+lost"))                            // op 4: last op before death, volatile only
+	if err := f.Sync(); !errors.Is(err, ErrPowerLost) { // op 5
+		t.Fatalf("op 5 want ErrPowerLost, got %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("dead machine accepted a write: %v", err)
+	}
+	if _, err := fs.ReadFile("d/f"); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("dead machine served a read: %v", err)
+	}
+	fs.SetInject(nil) // disarm before reboot
+	fs.Crash()
+	if got := readAll(t, fs, "d/f"); got != "synced" {
+		t.Fatalf("post-reboot content = %q", got)
+	}
+}
+
+func TestTruncateIsVolatileUntilSync(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY)
+	f.Write([]byte("goodtail"))
+	f.Sync()
+	fs.SyncDir("d")
+	if err := fs.Truncate("d/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash() // truncate never fsynced: full content returns
+	if got := readAll(t, fs, "d/f"); got != "goodtail" {
+		t.Fatalf("unsynced truncate should not survive crash, got %q", got)
+	}
+	fs.Truncate("d/f", 4)
+	if err := fs.SyncFile("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got := readAll(t, fs, "d/f"); got != "good" {
+		t.Fatalf("synced truncate lost: %q", got)
+	}
+}
+
+func TestReadDirNamesSortedAndMissingDir(t *testing.T) {
+	fs := New()
+	if _, err := fs.ReadDirNames("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+	fs.MkdirAll("d", 0o755)
+	if names, err := fs.ReadDirNames("d"); err != nil || len(names) != 0 {
+		t.Fatalf("empty dir = (%v, %v)", names, err)
+	}
+	mustOpen(t, fs, "d/b", os.O_CREATE|os.O_WRONLY)
+	mustOpen(t, fs, "d/a", os.O_CREATE|os.O_WRONLY)
+	names, err := fs.ReadDirNames("d")
+	if err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = (%v, %v)", names, err)
+	}
+}
+
+func TestOpsCountsMutations(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755) // not counted
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY)
+	f.Write([]byte("x"))
+	f.Sync()
+	fs.SyncDir("d")
+	fs.ReadFile("d/f")   // not counted
+	fs.ReadDirNames("d") // not counted
+	if got := fs.Ops(); got != 4 {
+		t.Fatalf("ops = %d, want 4 (open, write, sync, syncdir)", got)
+	}
+}
+
+func TestOpenTruncResetsVolatileOnly(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d", 0o755)
+	f := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_WRONLY)
+	f.Write([]byte("old"))
+	f.Sync()
+	fs.SyncDir("d")
+	f2 := mustOpen(t, fs, "d/f", os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+	f2.Write([]byte("n"))
+	if got := readAll(t, fs, "d/f"); got != "n" {
+		t.Fatalf("O_TRUNC reopen read = %q", got)
+	}
+	fs.Crash() // truncation and new byte never synced
+	if got := readAll(t, fs, "d/f"); got != "old" {
+		t.Fatalf("post-crash = %q, want pre-trunc synced content", got)
+	}
+}

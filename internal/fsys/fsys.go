@@ -1,0 +1,119 @@
+// Package fsys is the narrow filesystem seam under the durable storage
+// engine (DESIGN.md §11). The durable package performs every file
+// operation — segment appends, fsyncs, checkpoint renames, torn-tail
+// truncation — through the FS interface below instead of calling os.*
+// directly, so tests can slide a fault-injecting implementation
+// (internal/faultfs) underneath the real WAL and checkpoint code paths:
+// ENOSPC on the k-th write, a torn fsync, a power cut that drops every
+// unsynced byte.
+//
+// The interface is deliberately the exact footprint the storage engine
+// uses and nothing more: sequential appends to files opened with
+// OpenFile, whole-file reads, directory listings by name, atomic rename,
+// truncate for tail repair, and explicit file and directory syncs (the
+// two distinct durability barriers POSIX gives us — fsync(fd) persists a
+// file's bytes, fsync(dirfd) persists its directory entry).
+package fsys
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is one open file handle. The storage engine only ever appends:
+// every writer opens with O_APPEND or O_TRUNC and writes sequentially,
+// so implementations may treat Write as append-only.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file's written bytes (and its size) to stable
+	// storage — the fsync(fd) durability barrier.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem the durable storage engine runs on. The os-backed
+// default is OS; internal/faultfs provides the fault-injecting
+// implementation used by the chaos sweeps.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flag subset
+	// the engine uses: O_CREATE|O_TRUNC|O_WRONLY (fresh file) and
+	// O_WRONLY|O_APPEND (continue an existing one).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// ReadDirNames returns the sorted entry names of a directory.
+	ReadDirNames(dir string) ([]string, error)
+	MkdirAll(dir string, perm os.FileMode) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+	// SyncFile fsyncs name without the caller holding a handle — the
+	// barrier torn-tail repair needs right after Truncate.
+	SyncFile(name string) error
+	// SyncDir fsyncs the directory itself, making entry creations,
+	// renames and removals durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: plain os.* calls.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDirNames implements FS.
+func (OS) ReadDirNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncFile implements FS.
+func (OS) SyncFile(name string) error {
+	f, err := os.OpenFile(name, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

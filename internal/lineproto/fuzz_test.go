@@ -1,0 +1,86 @@
+package lineproto
+
+// Fuzzed decoder hardening (DESIGN.md §11). The line-protocol parser is
+// the outermost attacker-facing decoder of lms-db — every /write body
+// runs through it — so it must never panic, and anything it accepts must
+// survive the canonical encode/reparse round trip: parse → encode →
+// parse must reproduce the same point, or the WAL and the router would
+// disagree with the in-memory store about what was written.
+
+import "testing"
+
+// FuzzParseLine: arbitrary bytes through the single-line parser.
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		"cpu user=1.5",
+		"cpu,host=a,core=3 user=1.5,sys=2i,idle=97i 1439856000000000000",
+		`disk,path=/var free=12i,label="root \"fs\"",full=false`,
+		`we\,ird\ m\=eas,t\ ag=v\,al fi\=eld=1`,
+		"m f=" + `"unterminated`,
+		"m f=1e309",
+		"m f=NaN,g=+Inf,h=-0",
+		"m f=9223372036854775807i -9223372036854775808",
+		"m,t== f=1",
+		"m f=1 99999999999999999999",
+		"m\\",
+		"# comment",
+		"m f=t,g=F,h=TRUE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		p, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		// The parser's own checks (non-empty measurement, tag keys/values,
+		// field keys) are exactly what Validate demands; a parsed point
+		// must therefore always be encodable.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed point fails validation: %v (line %q)", err, line)
+		}
+		enc, err := EncodePoint(p)
+		if err != nil {
+			t.Fatalf("parsed point does not encode: %v (line %q)", err, line)
+		}
+		rt, err := ParseLine(string(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding does not reparse: %v (%q from %q)", err, enc, line)
+		}
+		if !rt.Equal(p) {
+			t.Fatalf("round trip changed the point: %q -> %q", line, enc)
+		}
+	})
+}
+
+// FuzzParse: arbitrary bytes through the batch parser — the exact code
+// path a hostile /write body takes. Parse must never panic, and every
+// point of an accepted batch must round-trip like the single-line case.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("cpu user=1.5\n# comment\n\nmem used=2i 1439856000000000000\n"))
+	f.Add([]byte("  \t\r\ncpu,host=a user=1\r\n"))
+	f.Add([]byte("cpu user=1 bad"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(pts)
+		if err != nil {
+			t.Fatalf("accepted batch does not encode: %v", err)
+		}
+		rt, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical batch does not reparse: %v (%q)", err, enc)
+		}
+		if len(rt) != len(pts) {
+			t.Fatalf("round trip changed batch size: %d -> %d", len(pts), len(rt))
+		}
+		for i := range pts {
+			if !rt[i].Equal(pts[i]) {
+				t.Fatalf("round trip changed point %d", i)
+			}
+		}
+	})
+}

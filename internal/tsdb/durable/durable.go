@@ -31,6 +31,8 @@ package durable
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/fsys"
 )
 
 // FsyncPolicy selects when the WAL fsyncs appended records to stable
@@ -93,6 +95,17 @@ type Options struct {
 	// observability layer (internal/obs) feeds a latency histogram from
 	// it; the callback must be cheap and safe for concurrent use.
 	SyncObserver func(time.Duration)
+
+	// OnSeal, if set, is called exactly once when the log seals itself
+	// after a write or fsync failure (DESIGN.md §11) with the latched
+	// error. It runs under the WAL's internal lock: it must be cheap and
+	// must not call back into the WAL. The tsdb layer uses it to log the
+	// seal reason and raise the lms_db_wal_sealed gauge.
+	OnSeal func(error)
+
+	// FS is the filesystem the log and checkpoints run on. Nil selects
+	// the real one (fsys.OS); chaos tests inject internal/faultfs.
+	FS fsys.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +114,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
+	}
+	if o.FS == nil {
+		o.FS = fsys.OS{}
 	}
 	return o
 }

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fsys"
 	"repro/internal/lineproto"
 )
 
@@ -429,20 +430,27 @@ func decodeCol(r *batchReader, n int) (Col, error) {
 // --- files -------------------------------------------------------------
 
 // WriteSnapshot atomically writes s as the checkpoint replaying from WAL
-// segment seg, then removes superseded checkpoint files. The returned
-// error is nil only once the new checkpoint is durably on disk.
-func WriteSnapshot(dir string, seg int, s *Snapshot) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// segment seg, then removes superseded checkpoint files. All file
+// operations go through fs (nil selects the real filesystem). The
+// returned error is nil only once the new checkpoint is durably on disk:
+// temp file written and fsynced, renamed into place, directory synced. A
+// crash anywhere before that last barrier leaves at worst a stray .tmp
+// file and the previous checkpoint intact.
+func WriteSnapshot(fs fsys.FS, dir string, seg int, s *Snapshot) error {
+	if fs == nil {
+		fs = fsys.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	payload := appendSnapshot(nil, s)
 	final := filepath.Join(dir, snapshotName(seg))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	_, err = f.WriteString(snapMagic)
+	_, err = f.Write([]byte(snapMagic))
 	if err == nil {
 		_, err = f.Write(payload)
 	}
@@ -458,39 +466,42 @@ func WriteSnapshot(dir string, seg int, s *Snapshot) error {
 		err = cerr
 	}
 	if err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
+	if err := fs.Rename(tmp, final); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fs.SyncDir(dir); err != nil {
 		return err
 	}
 	// The new checkpoint is durable; superseded ones and stray temp files
 	// only waste space now.
-	entries, err := os.ReadDir(dir)
+	names, err := fs.ReadDirNames(dir)
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if idx, ok := parseSnapshotName(name); ok && idx != seg {
-			_ = os.Remove(filepath.Join(dir, name))
+			_ = fs.Remove(filepath.Join(dir, name))
 		} else if strings.HasSuffix(name, ".snap.tmp") && name != filepath.Base(tmp) {
-			_ = os.Remove(filepath.Join(dir, name))
+			_ = fs.Remove(filepath.Join(dir, name))
 		}
 	}
 	return nil
 }
 
-// LoadLatestSnapshot loads the newest valid checkpoint in dir. It returns
-// the snapshot and the WAL segment index replay must start from, or
-// (nil, 0, nil) when no usable checkpoint exists. Corrupt checkpoint
-// files are skipped in favour of older ones.
-func LoadLatestSnapshot(dir string) (*Snapshot, int, error) {
-	entries, err := os.ReadDir(dir)
+// LoadLatestSnapshot loads the newest valid checkpoint in dir through fs
+// (nil selects the real filesystem). It returns the snapshot and the WAL
+// segment index replay must start from, or (nil, 0, nil) when no usable
+// checkpoint exists. Corrupt checkpoint files are skipped in favour of
+// older ones.
+func LoadLatestSnapshot(fs fsys.FS, dir string) (*Snapshot, int, error) {
+	if fs == nil {
+		fs = fsys.OS{}
+	}
+	names, err := fs.ReadDirNames(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, 0, nil
@@ -498,14 +509,14 @@ func LoadLatestSnapshot(dir string) (*Snapshot, int, error) {
 		return nil, 0, err
 	}
 	var idxs []int
-	for _, e := range entries {
-		if idx, ok := parseSnapshotName(e.Name()); ok {
+	for _, name := range names {
+		if idx, ok := parseSnapshotName(name); ok {
 			idxs = append(idxs, idx)
 		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
 	for _, idx := range idxs {
-		data, err := os.ReadFile(filepath.Join(dir, snapshotName(idx)))
+		data, err := fs.ReadFile(filepath.Join(dir, snapshotName(idx)))
 		if err != nil {
 			return nil, 0, err
 		}

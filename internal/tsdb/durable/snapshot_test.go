@@ -65,10 +65,10 @@ func sampleSnapshot() *Snapshot {
 func TestSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	want := sampleSnapshot()
-	if err := WriteSnapshot(dir, 7, want); err != nil {
+	if err := WriteSnapshot(nil, dir, 7, want); err != nil {
 		t.Fatal(err)
 	}
-	got, seg, err := LoadLatestSnapshot(dir)
+	got, seg, err := LoadLatestSnapshot(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,16 +82,16 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 func TestSnapshotSupersededCheckpointsRemoved(t *testing.T) {
 	dir := t.TempDir()
-	if err := WriteSnapshot(dir, 3, sampleSnapshot()); err != nil {
+	if err := WriteSnapshot(nil, dir, 3, sampleSnapshot()); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteSnapshot(dir, 9, sampleSnapshot()); err != nil {
+	if err := WriteSnapshot(nil, dir, 9, sampleSnapshot()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, snapshotName(3))); !os.IsNotExist(err) {
 		t.Fatal("superseded checkpoint still on disk")
 	}
-	_, seg, err := LoadLatestSnapshot(dir)
+	_, seg, err := LoadLatestSnapshot(nil, dir)
 	if err != nil || seg != 9 {
 		t.Fatalf("latest = %d, %v; want 9", seg, err)
 	}
@@ -103,14 +103,14 @@ func TestSnapshotSupersededCheckpointsRemoved(t *testing.T) {
 func TestSnapshotCorruptFallsBackToOlder(t *testing.T) {
 	dir := t.TempDir()
 	older := sampleSnapshot()
-	if err := WriteSnapshot(dir, 2, older); err != nil {
+	if err := WriteSnapshot(nil, dir, 2, older); err != nil {
 		t.Fatal(err)
 	}
 	// Re-create a newer checkpoint by hand so the older one survives.
 	newer := sampleSnapshot()
 	newer.Measurements = newer.Measurements[:1]
 	tmp := t.TempDir()
-	if err := WriteSnapshot(tmp, 5, newer); err != nil {
+	if err := WriteSnapshot(nil, tmp, 5, newer); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(tmp, snapshotName(5)))
@@ -122,7 +122,7 @@ func TestSnapshotCorruptFallsBackToOlder(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, seg, err := LoadLatestSnapshot(dir)
+	got, seg, err := LoadLatestSnapshot(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +135,11 @@ func TestSnapshotCorruptFallsBackToOlder(t *testing.T) {
 }
 
 func TestSnapshotNoneFound(t *testing.T) {
-	s, seg, err := LoadLatestSnapshot(t.TempDir())
+	s, seg, err := LoadLatestSnapshot(nil, t.TempDir())
 	if s != nil || seg != 0 || err != nil {
 		t.Fatalf("LoadLatestSnapshot(empty) = %v, %d, %v", s, seg, err)
 	}
-	s, seg, err = LoadLatestSnapshot(filepath.Join(t.TempDir(), "missing"))
+	s, seg, err = LoadLatestSnapshot(nil, filepath.Join(t.TempDir(), "missing"))
 	if s != nil || seg != 0 || err != nil {
 		t.Fatalf("LoadLatestSnapshot(missing dir) = %v, %d, %v", s, seg, err)
 	}

@@ -33,6 +33,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/fsys"
 )
 
 const (
@@ -61,9 +63,10 @@ func parseSegmentName(name string) (int, bool) {
 type WAL struct {
 	dir  string
 	opts Options
+	fs   fsys.FS // opts.FS after defaulting; every file op goes through it
 
 	mu      sync.Mutex
-	f       *os.File      // newest segment, open for append
+	f       fsys.File     // newest segment, open for append
 	seg     int           // index of the newest segment
 	sizes   map[int]int64 // per-segment byte size
 	buf     []byte        // scratch frame buffer, reused across appends
@@ -92,30 +95,32 @@ type WAL struct {
 // file comment. After OpenWAL returns, the WAL is positioned for appends.
 func OpenWAL(dir string, floor int, o Options, fn func(payload []byte) error) (*WAL, error) {
 	o = o.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	names, err := o.FS.ReadDirNames(dir)
 	if err != nil {
 		return nil, err
 	}
 	var segs []int
-	for _, e := range entries {
-		idx, ok := parseSegmentName(e.Name())
+	removed := false
+	for _, name := range names {
+		idx, ok := parseSegmentName(name)
 		if !ok {
 			continue
 		}
 		if idx < floor {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if err := o.FS.Remove(filepath.Join(dir, name)); err != nil {
 				return nil, err
 			}
+			removed = true
 			continue
 		}
 		segs = append(segs, idx)
 	}
 	sort.Ints(segs)
 
-	w := &WAL{dir: dir, opts: o, sizes: make(map[int]int64), stop: make(chan struct{})}
+	w := &WAL{dir: dir, opts: o, fs: o.FS, sizes: make(map[int]int64), stop: make(chan struct{})}
 	for i, idx := range segs {
 		size, ok, err := w.replaySegment(idx, fn)
 		if err != nil {
@@ -127,11 +132,20 @@ func OpenWAL(dir string, floor int, o Options, fn func(payload []byte) error) (*
 			// Torn or corrupt frame: this segment was truncated at the
 			// last good frame; anything after it is past the tear.
 			for _, later := range segs[i+1:] {
-				if err := os.Remove(filepath.Join(dir, segmentName(later))); err != nil {
+				if err := w.fs.Remove(filepath.Join(dir, segmentName(later))); err != nil {
 					return nil, err
 				}
+				removed = true
 			}
 			break
+		}
+	}
+	if removed {
+		// Make the deletions durable: a crash must not resurrect
+		// checkpoint-covered or past-the-tear segments that a later
+		// recovery would happily replay.
+		if err := w.fs.SyncDir(dir); err != nil {
+			return nil, err
 		}
 	}
 	if w.seg == 0 {
@@ -157,7 +171,7 @@ func OpenWAL(dir string, floor int, o Options, fn func(payload []byte) error) (*
 // validated size and whether the segment was fully intact.
 func (w *WAL) replaySegment(idx int, fn func([]byte) error) (int64, bool, error) {
 	path := filepath.Join(w.dir, segmentName(idx))
-	data, err := os.ReadFile(path)
+	data, err := w.fs.ReadFile(path)
 	if err != nil {
 		return 0, false, err
 	}
@@ -193,20 +207,38 @@ func (w *WAL) replaySegment(idx int, fn func([]byte) error) (int64, bool, error)
 		}
 	}
 	if !intact {
-		if err := os.Truncate(path, good); err != nil {
+		if err := w.fs.Truncate(path, good); err != nil {
 			return 0, false, err
+		}
+		if good < int64(len(data)) {
+			// The repair itself must be durable: the truncation only
+			// changed the kernel's view, so a crash right after recovery
+			// could resurrect the corrupt tail — and a later recovery
+			// would cut the log there again, dropping everything acked
+			// after this point. Fsync the file (its new size) and the
+			// directory before appending behind the repaired tail.
+			if err := w.fs.SyncFile(path); err != nil {
+				return 0, false, err
+			}
+			if err := w.fs.SyncDir(w.dir); err != nil {
+				return 0, false, err
+			}
 		}
 	}
 	return good, intact, nil
 }
 
-// createSegment starts segment idx as the append target.
+// createSegment starts segment idx as the append target. The handle is
+// only installed once the segment is fully established (header written,
+// directory entry synced): a failure part-way leaves the WAL on its old
+// state rather than appending into a segment that may not survive a
+// crash.
 func (w *WAL) createSegment(idx int) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(idx)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, segmentName(idx)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(segMagic); err != nil {
+	if _, err := f.Write([]byte(segMagic)); err != nil {
 		f.Close()
 		return err
 	}
@@ -216,10 +248,14 @@ func (w *WAL) createSegment(idx int) error {
 			return err
 		}
 	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
 	w.f = f
 	w.seg = idx
 	w.sizes[idx] = int64(len(segMagic))
-	return syncDir(w.dir)
+	return nil
 }
 
 // openForAppend positions the newest (already validated) segment for
@@ -227,13 +263,13 @@ func (w *WAL) createSegment(idx int) error {
 // header rewritten.
 func (w *WAL) openForAppend() error {
 	path := filepath.Join(w.dir, segmentName(w.seg))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
 	w.f = f
 	if w.sizes[w.seg] == 0 {
-		if _, err := f.WriteString(segMagic); err != nil {
+		if _, err := f.Write([]byte(segMagic)); err != nil {
 			return err
 		}
 		w.sizes[w.seg] = int64(len(segMagic))
@@ -241,24 +277,11 @@ func (w *WAL) openForAppend() error {
 	return nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	cerr := d.Close()
-	if err != nil {
-		return err
-	}
-	return cerr
-}
-
 // syncFile fsyncs one file handle, reporting the latency to the
 // configured observer (Options.SyncObserver). Every durability-relevant
 // sync of the log goes through here so the exported fsync histogram sees
 // group commits, interval syncs, rotations and Close alike.
-func (w *WAL) syncFile(f *os.File) error {
+func (w *WAL) syncFile(f fsys.File) error {
 	if obs := w.opts.SyncObserver; obs != nil {
 		start := time.Now()
 		err := f.Sync()
@@ -266,6 +289,33 @@ func (w *WAL) syncFile(f *os.File) error {
 		return err
 	}
 	return f.Sync()
+}
+
+// sealLocked latches the first fatal error: the log refuses every later
+// append (the failed or partial operation may have left a torn frame, or
+// dirty pages in unknown state, and appending behind it would silently
+// vanish on replay). Fires Options.OnSeal exactly once, on the first
+// seal. Callers hold w.mu.
+func (w *WAL) sealLocked(what string, err error) error {
+	if w.failErr == nil {
+		w.failErr = fmt.Errorf("durable: WAL %s failed, log sealed: %w", what, err)
+		if w.opts.OnSeal != nil {
+			w.opts.OnSeal(w.failErr)
+		}
+	}
+	return w.failErr
+}
+
+// Sealed reports the latched error that sealed the log against appends,
+// or nil for a healthy (or merely closed) log. The tsdb layer exports it
+// as the lms_db_wal_sealed gauge.
+func (w *WAL) Sealed() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr != nil && !errors.Is(w.failErr, ErrClosed) {
+		return w.failErr
+	}
+	return nil
 }
 
 // Append writes one framed record and, under FsyncPerBatch, does not
@@ -313,7 +363,7 @@ func (w *WAL) appendLocked(payload []byte) (seg int, end int64, seq int64, err e
 	n, err := w.f.Write(w.buf)
 	w.sizes[w.seg] += int64(n) // a partial write leaves a torn frame for recovery to cut
 	if err != nil {
-		w.failErr = fmt.Errorf("durable: WAL write failed, log sealed: %w", err)
+		w.sealLocked("write", err)
 		return 0, 0, 0, err
 	}
 	w.writeSeq++
@@ -357,8 +407,7 @@ func (w *WAL) syncThrough(seq int64) error {
 		}
 		// fsync failure: the kernel may have dropped the dirty pages, so
 		// the frame's on-disk fate is unknown. Seal the log.
-		w.failErr = fmt.Errorf("durable: WAL fsync failed, log sealed: %w", err)
-		return w.failErr
+		return w.sealLocked("fsync", err)
 	}
 	if top > w.syncedSeq {
 		w.syncedSeq = top
@@ -376,9 +425,7 @@ func (w *WAL) Sync() error {
 		return ErrClosed
 	}
 	if err := w.syncFile(w.f); err != nil {
-		if w.failErr == nil {
-			w.failErr = fmt.Errorf("durable: WAL fsync failed, log sealed: %w", err)
-		}
+		w.sealLocked("fsync", err)
 		return err
 	}
 	w.dirty = false
@@ -409,30 +456,50 @@ func (w *WAL) Rotate() (int, error) {
 }
 
 func (w *WAL) rotateLocked() error {
+	// Any failure mid-rotation seals the log: after a failed sync the old
+	// segment's dirty pages are in unknown state, and after a failed
+	// close or create the append target is gone or half-established
+	// (e.g. a new segment whose directory entry never hit the platter —
+	// appending into it would ack frames a power cut then deletes
+	// wholesale). Sealing forces a recovery instead of guessing.
 	if err := w.syncFile(w.f); err != nil {
+		w.sealLocked("fsync", err)
 		return err
 	}
 	if err := w.f.Close(); err != nil {
+		w.sealLocked("rotate", err)
 		return err
 	}
 	w.dirty = false
 	w.syncedSeq = w.writeSeq // the closed segment's frames are durable
-	return w.createSegment(w.seg + 1)
+	if err := w.createSegment(w.seg + 1); err != nil {
+		w.sealLocked("rotate", err)
+		return err
+	}
+	return nil
 }
 
 // RemoveBelow deletes every segment with an index below floor (the
-// segments a just-written checkpoint covers).
+// segments a just-written checkpoint covers) and syncs the directory so
+// the deletions stick. A crash-resurrected segment would be deleted
+// again unread at the next open (it is below the checkpoint floor), so a
+// failure here is reported but nothing is sealed.
 func (w *WAL) RemoveBelow(floor int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	removed := false
 	for idx := range w.sizes {
 		if idx >= floor {
 			continue
 		}
-		if err := os.Remove(filepath.Join(w.dir, segmentName(idx))); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := w.fs.Remove(filepath.Join(w.dir, segmentName(idx))); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
+		removed = true
 		delete(w.sizes, idx)
+	}
+	if removed {
+		return w.fs.SyncDir(w.dir)
 	}
 	return nil
 }
@@ -478,8 +545,8 @@ func (w *WAL) Close() error {
 	err := w.syncFile(w.f)
 	if err == nil {
 		w.syncedSeq = w.writeSeq
-	} else if w.failErr == nil {
-		w.failErr = fmt.Errorf("durable: WAL fsync failed, log sealed: %w", err)
+	} else {
+		w.sealLocked("fsync", err)
 	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
@@ -521,9 +588,7 @@ func (w *WAL) syncLoop() {
 					// The documented loss bound is one interval; a disk
 					// that stops syncing must seal the log so appends
 					// start failing, not silently widen the window.
-					if w.failErr == nil {
-						w.failErr = fmt.Errorf("durable: WAL fsync failed, log sealed: %w", err)
-					}
+					w.sealLocked("fsync", err)
 				} else {
 					w.dirty = false
 					w.syncedSeq = w.writeSeq

@@ -116,6 +116,16 @@ func newMetrics(s *Store) *Metrics {
 				emit(obs.L("db", db.Name()), float64(len(db.qsem)))
 			}
 		})
+	reg.NewFunc("lms_db_wal_sealed", "1 when the database's WAL sealed itself after a write/fsync failure and refuses appends (the seal reason is logged once).", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				v := 0.0
+				if db.WALSealed() != nil {
+					v = 1
+				}
+				emit(obs.L("db", db.Name()), v)
+			}
+		})
 	return m
 }
 

@@ -28,6 +28,7 @@ package tsdb
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fsys"
 	"repro/internal/lineproto"
 	"repro/internal/tsdb/durable"
 )
@@ -65,6 +67,10 @@ type Durability struct {
 	// sweep schedules after dropping rows, so expired data also leaves
 	// the disk (default 1 minute).
 	RetentionCheckpointEvery time.Duration
+	// FS is the filesystem the WAL and checkpoints run on. Nil selects
+	// the real one; the fault-injection sweeps (persist_fault_test.go)
+	// slide internal/faultfs underneath the whole engine through it.
+	FS fsys.FS
 }
 
 func (d Durability) withDefaults() Durability {
@@ -78,7 +84,7 @@ func (d Durability) withDefaults() Durability {
 }
 
 func (d Durability) walOptions() durable.Options {
-	return durable.Options{Fsync: d.Fsync, FsyncInterval: d.FsyncInterval, SegmentBytes: d.SegmentBytes}
+	return durable.Options{Fsync: d.Fsync, FsyncInterval: d.FsyncInterval, SegmentBytes: d.SegmentBytes, FS: d.FS}
 }
 
 // durability is the runtime durable state of one DB.
@@ -183,12 +189,23 @@ func (db *DB) Checkpoint() error {
 	}
 	snap := db.buildSnapshot()
 	d.gate.Unlock()
-	if err := durable.WriteSnapshot(d.dir, seg, snap); err != nil {
+	if err := durable.WriteSnapshot(d.opts.FS, d.dir, seg, snap); err != nil {
 		return fmt.Errorf("tsdb: checkpoint: %w", err)
 	}
 	d.lastCkpt.Store(time.Now().UnixNano())
 	db.noteCheckpoint()
 	return d.wal.RemoveBelow(seg)
+}
+
+// WALSealed reports the error that sealed the database's WAL against
+// appends after a write or fsync failure, or nil for a healthy (or
+// in-memory, or merely closed) database. Exported on /metrics as the
+// lms_db_wal_sealed gauge.
+func (db *DB) WALSealed() error {
+	if db.dur == nil {
+		return nil
+	}
+	return db.dur.wal.Sealed()
 }
 
 // Close stops the retention ticker and, for a durable database, writes a
@@ -255,7 +272,7 @@ func openDurableDB(name string, shards int, opts Durability) (*DB, error) {
 	}
 	db := NewDBShards(name, shards)
 	dir := filepath.Join(opts.Dir, dirName)
-	snap, floor, err := durable.LoadLatestSnapshot(dir)
+	snap, floor, err := durable.LoadLatestSnapshot(opts.FS, dir)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: open %q: %w", name, err)
 	}
@@ -267,6 +284,12 @@ func openDurableDB(name string, shards int, opts Durability) (*DB, error) {
 	// metrics pointer per observation, so attaching the bundle after the
 	// open (openLocked does) still instruments every later sync.
 	wo.SyncObserver = db.observeFsync
+	// A sealed log is an operational event, not just a stream of failed
+	// writes: log the reason once, and let the lms_db_wal_sealed gauge
+	// (metrics.go, sampling WALSealed at scrape time) raise the alert.
+	wo.OnSeal = func(err error) {
+		log.Printf("tsdb: %s: %v", name, err)
+	}
 	wal, err := durable.OpenWAL(dir, floor, wo, func(payload []byte) error {
 		pts, err := durable.DecodeBatch(payload)
 		if err != nil {

@@ -1,0 +1,251 @@
+package tests
+
+// Process-level crash-kill harness (DESIGN.md §11). The in-process chaos
+// run restarts the store gracefully; this harness removes that courtesy:
+// it builds the real lms-db binary once, runs it as a child process with
+// per-batch fsync and a tiny checkpoint/segment budget (so checkpoints
+// fire constantly), and SIGKILLs it at random points under concurrent
+// writer load — including mid-append, mid-rotation and mid-checkpoint.
+// After every kill the database restarts on the same address and the
+// writers resume. When the dust settles the harness opens the data
+// directory in-process and asserts the durability contract end to end:
+// every batch a writer got a 2xx for is fully present, byte-for-byte
+// recovered through the real WAL + checkpoint recovery path.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lineproto"
+	"repro/internal/tsdb"
+	"repro/internal/tsdb/durable"
+)
+
+// lmsDBBin is the real lms-db binary, built once by TestMain; empty when
+// the go toolchain cannot build it (the tests then skip).
+var lmsDBBin string
+
+func TestMain(m *testing.M) {
+	tmp, err := os.MkdirTemp("", "lms-chaos-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: temp dir:", err)
+		os.Exit(1)
+	}
+	bin := filepath.Join(tmp, "lms-db")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/lms-db")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: cannot build lms-db (crash-kill tests will skip): %v\n%s", err, out)
+	} else {
+		lmsDBBin = bin
+	}
+	code := m.Run()
+	_ = os.RemoveAll(tmp)
+	os.Exit(code)
+}
+
+// child is one lms-db process incarnation.
+type child struct {
+	cmd   *exec.Cmd
+	waitc chan error
+}
+
+// spawnDB starts an lms-db child on addr over dir and waits until /ping
+// answers. The previous incarnation's socket may linger briefly, so a
+// child that dies before becoming ready is respawned.
+func spawnDB(t *testing.T, dir, addr string) *child {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		cmd := exec.Command(lmsDBBin,
+			"-addr", addr, "-db", "lms", "-data-dir", dir, "-fsync", "batch",
+			"-segment-bytes", "4096", "-checkpoint-bytes", "8192")
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start lms-db: %v", err)
+		}
+		c := &child{cmd: cmd, waitc: make(chan error, 1)}
+		go func() { c.waitc <- cmd.Wait() }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			select {
+			case err := <-c.waitc:
+				if attempt >= 5 {
+					t.Fatalf("lms-db died before becoming ready (attempt %d): %v", attempt, err)
+				}
+				goto respawn
+			default:
+			}
+			if resp, err := http.Get("http://" + addr + "/ping"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode/100 == 2 {
+					return c
+				}
+			}
+			if time.Now().After(deadline) {
+				c.kill()
+				t.Fatalf("lms-db not ready on %s after 10s (attempt %d)", addr, attempt)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	respawn:
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the child — no shutdown handler, no final checkpoint, no
+// WAL flush — and reaps it.
+func (c *child) kill() {
+	_ = c.cmd.Process.Kill()
+	<-c.waitc
+}
+
+// TestChaosCrashKillNoAckedPointLost is the crash-kill run described in
+// the package comment. Short mode rides in CI; LMS_CHAOS_LONG=1 scales
+// it to the soak configuration.
+func TestChaosCrashKillNoAckedPointLost(t *testing.T) {
+	if lmsDBBin == "" {
+		t.Skip("lms-db binary unavailable (go build failed)")
+	}
+	p := params()
+	dir := t.TempDir()
+
+	// Reserve an address for the child, then free it. A rebind race is
+	// possible but spawnDB retries through it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	ch := spawnDB(t, dir, addr)
+	dbURL := "http://" + addr
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	acked := make([]int, p.writers) // acked[w]: batches with a 2xx, covering seqs [0, acked[w]*batch)
+	base := time.Unix(1_700_000_000, 0).UTC()
+	for w := 0; w < p.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &tsdb.Client{BaseURL: dbURL, Database: "lms", HTTPClient: &http.Client{Timeout: 5 * time.Second}}
+			for batchNo := 0; ; batchNo++ {
+				pts := make([]lineproto.Point, p.batch)
+				for i := range pts {
+					seq := batchNo*p.batch + i
+					pts[i] = lineproto.Point{
+						Measurement: "crashkill",
+						Tags:        map[string]string{"writer": fmt.Sprintf("w%d", w)},
+						Fields:      map[string]lineproto.Value{"seq": lineproto.Int(int64(seq))},
+						Time:        base.Add(time.Duration(seq) * time.Millisecond),
+					}
+				}
+				// Retry the same batch across kills: the seq timestamps
+				// make re-writes idempotent per series, so an un-acked
+				// batch that secretly survived is harmless.
+				for {
+					if err := c.WritePoints(pts); err == nil {
+						acked[w] = batchNo + 1
+						break
+					}
+					select {
+					case <-stop:
+						return
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+
+	// Kill schedule: SIGKILL at randomized offsets under load. The rng
+	// seed is fixed so a CI failure replays the same schedule; wall-clock
+	// jitter still varies the exact syscall the kill lands on.
+	rng := rand.New(rand.NewSource(7))
+	deadline := time.After(p.duration)
+	for r := 0; r < p.restarts; r++ {
+		gap := p.restGap/2 + time.Duration(rng.Int63n(int64(p.restGap)))
+		select {
+		case <-deadline:
+		case <-time.After(gap):
+		}
+		ch.kill()
+		ch = spawnDB(t, dir, addr)
+	}
+	<-deadline
+	close(stop)
+	wg.Wait()
+
+	// The live incarnation must not have sealed its WAL: kills are not
+	// disk faults, every incarnation gets a healthy log.
+	doc := scrape(t, dbURL)
+	if v, ok := metricValue(doc, `lms_db_wal_sealed{db="lms"}`); !ok || v != 0 {
+		t.Errorf(`lms_db_wal_sealed{db="lms"} = %v (ok=%v), want 0`, v, ok)
+	}
+
+	// Final kill — no graceful shutdown — then recover in-process and
+	// check the oracle against the acked batches.
+	ch.kill()
+	store, err := tsdb.OpenStore(tsdb.StoreOptions{
+		Durability: tsdb.Durability{Dir: dir, Fsync: durable.FsyncPerBatch},
+	})
+	if err != nil {
+		t.Fatalf("final recovery: %v", err)
+	}
+	defer store.Close()
+	fdb := store.DB("lms")
+	if fdb == nil {
+		t.Fatal("database lms not recovered")
+	}
+	series, err := fdb.Select(tsdb.Query{
+		Measurement: "crashkill",
+		Fields:      []string{"seq"},
+		GroupByTags: []string{"writer"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]map[int64]bool{}
+	stored := 0
+	for _, s := range series {
+		w := s.Tags["writer"]
+		if got[w] == nil {
+			got[w] = map[int64]bool{}
+		}
+		for _, row := range s.Rows {
+			for _, v := range row.Values {
+				if v != nil {
+					got[w][v.IntVal()] = true
+					stored++
+				}
+			}
+		}
+	}
+	ackedPoints := 0
+	for w := 0; w < p.writers; w++ {
+		name := fmt.Sprintf("w%d", w)
+		ackedPoints += acked[w] * p.batch
+		for seq := 0; seq < acked[w]*p.batch; seq++ {
+			if !got[name][int64(seq)] {
+				t.Errorf("writer %s: acked seq %d lost after crash-kill recovery", name, seq)
+			}
+		}
+	}
+	if ackedPoints == 0 {
+		t.Fatal("no batch was ever acked; the harness exercised nothing")
+	}
+	t.Logf("crash-kill: %d writers, %d kills, %d acked points, %d stored",
+		p.writers, p.restarts, ackedPoints, stored)
+}

@@ -1,0 +1,280 @@
+package tests
+
+// Router-side network partition chaos (DESIGN.md §11). A scriptable TCP
+// proxy sits between lms-router and lms-db and switches between three
+// link conditions: pass (healthy), blackhole (bytes vanish, connections
+// stay open — the nastiest partition, since nothing fails fast) and
+// latency (every transfer delayed, but under the client timeout). The
+// test pins the router's dropped-point accounting through the partition:
+// every point of a client-visible 500 is counted dropped, every point of
+// a 204 is counted forwarded and actually reaches the database, and the
+// pipeline balance received == forwarded + dropped holds on /metrics and
+// Stats() at every phase boundary.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/tsdb"
+)
+
+const (
+	linkPass = iota
+	linkBlackhole
+	linkLatency
+)
+
+// flakyProxy is a byte-level TCP proxy whose link condition is checked on
+// every transfer, so mode switches also apply to pooled keep-alive
+// connections established earlier.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	mode   atomic.Int32
+	delay  time.Duration
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+	wg    sync.WaitGroup
+}
+
+func newFlakyProxy(t *testing.T, target string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: target, delay: 30 * time.Millisecond, conns: map[net.Conn]bool{}}
+	p.wg.Add(1)
+	go p.accept()
+	t.Cleanup(p.close)
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.track(conn, up)
+		p.wg.Add(2)
+		go p.pipe(up, conn)
+		go p.pipe(conn, up)
+	}
+}
+
+func (p *flakyProxy) track(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cs {
+		p.conns[c] = true
+	}
+}
+
+// pipe copies src to dst honoring the link condition per chunk. In
+// blackhole mode bytes are read and discarded: the sender sees a healthy
+// TCP connection that never answers.
+func (p *flakyProxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		dst.Close()
+		src.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			switch p.mode.Load() {
+			case linkPass:
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			case linkLatency:
+				time.Sleep(p.delay)
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			case linkBlackhole:
+				// swallowed
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// setMode switches the link condition. Leaving blackhole closes every
+// open connection: half a request may have vanished into the hole, so
+// surviving conns carry corrupt HTTP framing and must be redialed.
+func (p *flakyProxy) setMode(mode int32) {
+	prev := p.mode.Swap(mode)
+	if prev == linkBlackhole && mode != linkBlackhole {
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *flakyProxy) close() {
+	_ = p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// TestChaosRouterPartition drives writes through router → proxy → db
+// across the pass/blackhole/latency phases.
+func TestChaosRouterPartition(t *testing.T) {
+	store := tsdb.NewStore()
+	dbSrv := httptest.NewServer(tsdb.NewHandler(store))
+	defer dbSrv.Close()
+
+	proxy := newFlakyProxy(t, strings.TrimPrefix(dbSrv.URL, "http://"))
+	rt, err := router.New(router.Config{
+		Primary: &tsdb.Client{
+			BaseURL:  "http://" + proxy.addr(),
+			Database: "lms",
+			// Short timeout so each blackholed forward fails fast; well
+			// above the latency-phase delay so slow links still succeed.
+			HTTPClient: &http.Client{Timeout: 500 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	const batch = 4
+	seq := 0
+	write := func() int {
+		body := &strings.Builder{}
+		for i := 0; i < batch; i++ {
+			fmt.Fprintf(body, "part value=%di %d\n", seq, int64(seq+1)*1e6)
+			seq++
+		}
+		resp, err := http.Post(rtSrv.URL+"/write?db=lms", "text/plain", strings.NewReader(body.String()))
+		if err != nil {
+			t.Fatalf("write through router: %v", err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	balance := func(phase string) (recv, fwd, drop float64) {
+		t.Helper()
+		doc := scrape(t, rtSrv.URL)
+		recv, ok1 := metricValue(doc, "lms_router_received_points_total")
+		fwd, ok2 := metricValue(doc, "lms_router_forwarded_points_total")
+		drop, ok3 := metricValue(doc, "lms_router_dropped_points_total")
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("%s: router /metrics incomplete:\n%s", phase, doc)
+		}
+		if recv != fwd+drop {
+			t.Errorf("%s: pipeline unbalanced: received %v != forwarded %v + dropped %v", phase, recv, fwd, drop)
+		}
+		rs, fs, ds := rt.Stats()
+		if recv != float64(rs) || fwd != float64(fs) || drop != float64(ds) {
+			t.Errorf("%s: /metrics (%v, %v, %v) disagrees with Stats (%d, %d, %d)",
+				phase, recv, fwd, drop, rs, fs, ds)
+		}
+		return recv, fwd, drop
+	}
+
+	// Phase 1 — healthy link: every write forwards.
+	for i := 0; i < 5; i++ {
+		if code := write(); code != http.StatusNoContent {
+			t.Fatalf("healthy write %d: status %d", i, code)
+		}
+	}
+	_, fwd1, drop1 := balance("pass")
+	if fwd1 != 5*batch || drop1 != 0 {
+		t.Fatalf("pass phase: forwarded %v dropped %v, want %d and 0", fwd1, drop1, 5*batch)
+	}
+
+	// Phase 2 — blackhole: the db is unreachable but connections look
+	// alive. Every write must come back 500 and be counted dropped,
+	// point for point.
+	proxy.setMode(linkBlackhole)
+	failed := 0
+	for i := 0; i < 3; i++ {
+		switch code := write(); code {
+		case http.StatusInternalServerError:
+			failed++
+		default:
+			t.Fatalf("blackholed write %d: status %d, want 500", i, code)
+		}
+	}
+	_, fwd2, drop2 := balance("blackhole")
+	if fwd2 != fwd1 {
+		t.Errorf("blackhole phase forwarded points: %v -> %v", fwd1, fwd2)
+	}
+	if drop2 != float64(failed*batch) {
+		t.Errorf("blackhole phase: dropped %v, harness saw %d failed points", drop2, failed*batch)
+	}
+
+	// Phase 3 — heal: the partition ends, forwarding resumes with no new
+	// drops.
+	proxy.setMode(linkPass)
+	for i := 0; i < 3; i++ {
+		if code := write(); code != http.StatusNoContent {
+			t.Fatalf("healed write %d: status %d", i, code)
+		}
+	}
+	_, fwd3, drop3 := balance("heal")
+	if fwd3 != fwd2+3*batch || drop3 != drop2 {
+		t.Errorf("heal phase: forwarded %v dropped %v, want %v and %v", fwd3, drop3, fwd2+3*batch, drop2)
+	}
+
+	// Phase 4 — latency: a slow link under the client timeout degrades
+	// nothing but speed.
+	proxy.setMode(linkLatency)
+	for i := 0; i < 2; i++ {
+		if code := write(); code != http.StatusNoContent {
+			t.Fatalf("slow write %d: status %d", i, code)
+		}
+	}
+	_, fwd4, drop4 := balance("latency")
+	if fwd4 != fwd3+2*batch || drop4 != drop3 {
+		t.Errorf("latency phase: forwarded %v dropped %v, want %v and %v", fwd4, drop4, fwd3+2*batch, drop3)
+	}
+
+	// End to end: every forwarded point actually reached the database —
+	// the router never counts a point forwarded that the db did not ack.
+	dbDoc := scrape(t, dbSrv.URL)
+	ingested, ok := metricValue(dbDoc, "lms_ingest_points_total")
+	if !ok {
+		t.Fatalf("db /metrics missing lms_ingest_points_total:\n%s", dbDoc)
+	}
+	if ingested != fwd4 {
+		t.Errorf("db ingested %v points, router forwarded %v", ingested, fwd4)
+	}
+}
