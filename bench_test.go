@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/hpm"
@@ -1098,4 +1099,97 @@ func BenchmarkD3_Recovery(b *testing.B) {
 	}
 	b.Run("wal-replay", func(b *testing.B) { run(b, seed(b, false)) })
 	b.Run("checkpoint", func(b *testing.B) { run(b, seed(b, true)) })
+}
+
+// --- E5b/E6: clustered lms-db (DESIGN.md §12) -----------------------------
+
+// benchCluster stands up a 3-node in-process cluster (three real stores
+// behind real HTTP handlers) plus a coordinator, and returns the
+// coordinator and a teardown.
+func benchCluster(b *testing.B, seedPoints int) *cluster.Cluster {
+	b.Helper()
+	var peers []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(tsdb.NewHandler(tsdb.NewStore()))
+		b.Cleanup(srv.Close)
+		peers = append(peers, srv.URL)
+	}
+	clu, err := cluster.New(cluster.Config{Peers: peers, Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = clu.Close() })
+	if seedPoints > 0 {
+		sink := clu.SinkFor("lms")
+		base := time.Unix(1000, 0).UTC()
+		for off := 0; off < seedPoints; off += 100 {
+			batch := make([]lineproto.Point, 0, 100)
+			for i := 0; i < 100 && off+i < seedPoints; i++ {
+				batch = append(batch, lineproto.Point{
+					Measurement: fmt.Sprintf("cpu%d", (off+i)%8),
+					Tags:        map[string]string{"hostname": fmt.Sprintf("h%d", (off+i)%16)},
+					Fields:      map[string]lineproto.Value{"value": lineproto.Float(float64(off + i))},
+					Time:        base.Add(time.Duration(off+i) * time.Second),
+				})
+			}
+			if err := sink.WritePoints(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := clu.Ensure(context.Background(), "lms"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return clu
+}
+
+// BenchmarkE5_ClusterIngest measures the replicated write path: each
+// 100-point batch is ring-split and fanned to R=2 of 3 nodes over HTTP,
+// acknowledged at quorum.
+func BenchmarkE5_ClusterIngest(b *testing.B) {
+	clu := benchCluster(b, 0)
+	sink := clu.SinkFor("lms")
+	base := time.Unix(1000, 0).UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([]lineproto.Point, 0, 100)
+		for j := 0; j < 100; j++ {
+			batch = append(batch, lineproto.Point{
+				Measurement: fmt.Sprintf("cpu%d", j%8),
+				Tags:        map[string]string{"hostname": fmt.Sprintf("h%d", j%16)},
+				Fields:      map[string]lineproto.Value{"value": lineproto.Float(float64(i*100 + j))},
+				Time:        base.Add(time.Duration(i*100+j) * time.Millisecond),
+			})
+		}
+		if err := sink.WritePoints(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkE6_ScatterGatherQuery measures the distributed read path over
+// a seeded cluster: a routed aggregation (one owner replica answers
+// whole) and a fanned metadata union across all nodes.
+func BenchmarkE6_ScatterGatherQuery(b *testing.B) {
+	clu := benchCluster(b, 4000)
+	qr := clu.Querier()
+	ctx := context.Background()
+	cases := []struct{ name, q string }{
+		{"routed-agg", "SELECT mean(value) FROM cpu3 GROUP BY time(60s), hostname"},
+		{"fan-union", "SHOW MEASUREMENTS"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := qr.Query(ctx, tsdb.Request{Database: "lms", RawQuery: c.q})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Err() != nil {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+	}
 }

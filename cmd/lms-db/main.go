@@ -11,6 +11,14 @@
 // The store is shard-partitioned per database for multi-core ingest; the
 // -shards flag overrides the lock-shard count (default: GOMAXPROCS).
 //
+// In cluster mode (-cluster-peers with -node-id, DESIGN.md §12) the node
+// joins a consistent-hash ring with its peers: /query requests are
+// coordinated across the ring — each statement routed to the replicas
+// owning its measurement, metadata statements union-merged — while /write
+// stays local (the router places writes on the ring before they arrive).
+// -replication sets the replica count R used for query routing; it must
+// match the routers' setting.
+//
 // With -data-dir the store is durable (DESIGN.md §9): batches are logged
 // to a write-ahead log before they are acknowledged (-fsync selects the
 // sync policy), checkpoints persist the columnar state, and a restart
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/tsdb"
 	"repro/internal/tsdb/durable"
 )
@@ -59,8 +68,15 @@ func run(args []string, stdout io.Writer) error {
 	maxBodyMB := fs.Int64("max-body-mb", 0, "refuse /write bodies above this many MiB with 413 (0 = 64)")
 	maxInflightMB := fs.Int64("max-inflight-mb", 0, "shed /write with 429 beyond this many MiB of in-flight bodies (0 = unlimited)")
 	maxInflightReqs := fs.Int64("max-inflight-reqs", 0, "shed /write with 429 beyond this many concurrent requests (0 = unlimited)")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node)")
+	nodeID := fs.String("node-id", "", "this node's own entry in -cluster-peers")
+	replication := fs.Int("replication", 0, "replicas per (db, measurement) in cluster mode (0 = 2)")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
+	}
+	peers := cli.SplitList(*clusterPeers)
+	if len(peers) > 0 && *nodeID == "" {
+		return cli.UsageErr(fs, "-cluster-peers requires -node-id")
 	}
 	policy, err := durable.ParseFsyncPolicy(*fsync)
 	if err != nil {
@@ -92,13 +108,35 @@ func run(args []string, stdout io.Writer) error {
 	handler.SlowQueryThreshold = *slowQuery
 	handler.MaxBodyBytes = *maxBodyMB << 20
 	handler.SetAdmission(*maxInflightReqs, *maxInflightMB<<20)
+	var clu *cluster.Cluster
+	if len(peers) > 0 {
+		clu, err = cluster.New(cluster.Config{
+			Peers:       peers,
+			Self:        *nodeID,
+			SelfStore:   store,
+			Replication: *replication,
+		})
+		if err != nil {
+			_ = store.Close()
+			return err
+		}
+		handler.Distributed = clu.Querier()
+		clu.RegisterMetrics(store.Metrics().Registry())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if clu != nil {
+			_ = clu.Close()
+		}
 		_ = store.Close()
 		return err
 	}
 	fmt.Fprintf(stdout, "lms-db: serving database %q (%d shards) on %s\n",
 		*dbName, db.ShardCount(), ln.Addr())
+	if clu != nil {
+		fmt.Fprintf(stdout, "lms-db: cluster mode as %s (%d nodes, R=%d, ring %x)\n",
+			*nodeID, len(clu.Ring().Nodes()), clu.Replication(), clu.Ring().Generation())
+	}
 	if *dataDir != "" {
 		fmt.Fprintf(stdout, "lms-db: durable storage in %s (fsync=%s, %d databases recovered)\n",
 			*dataDir, policy, len(store.Databases()))
@@ -114,8 +152,14 @@ func run(args []string, stdout io.Writer) error {
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	closeCluster := func() {
+		if clu != nil {
+			_ = clu.Close()
+		}
+	}
 	select {
 	case err := <-errc:
+		closeCluster()
 		_ = store.Close()
 		return err
 	case <-ctx.Done():
@@ -123,9 +167,11 @@ func run(args []string, stdout io.Writer) error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
+			closeCluster()
 			_ = store.Close()
 			return err
 		}
+		closeCluster()
 		if err := store.Close(); err != nil {
 			return err
 		}

@@ -13,10 +13,21 @@
 // and -max-inflight-reqs / -max-inflight-mb (429 + Retry-After on
 // overload).
 //
+// With -cluster-peers the router forwards ring-aware (DESIGN.md §12):
+// each batch is split by the consistent-hash ring over (db, measurement),
+// fanned to the -replication owning lms-db replicas, and acknowledged at
+// -write-quorum; a replica that misses an acknowledged write gets its
+// share parked in the durable hinted-handoff queue under -hints-dir and
+// replayed when it heals. -db-url is ignored in cluster mode.
+//
 // Usage:
 //
 //	lms-router -addr :8090 -db-url http://localhost:8086 -db lms \
 //	           -user-dbs -publish 0.0.0.0:5571
+//
+//	lms-router -addr :8090 -db lms \
+//	           -cluster-peers http://db1:8086,http://db2:8086,http://db3:8086 \
+//	           -replication 2 -write-quorum 1 -hints-dir /var/lib/lms-router/hints
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"net/http"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/pubsub"
 	"repro/internal/router"
 	"repro/internal/tsdb"
@@ -37,7 +49,7 @@ func main() { cli.Main("lms-router", run) }
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lms-router", flag.ContinueOnError)
 	addr := fs.String("addr", ":8090", "listen address")
-	dbURL := fs.String("db-url", "http://127.0.0.1:8086", "database back-end base URL")
+	dbURL := fs.String("db-url", "http://127.0.0.1:8086", "database back-end base URL (single-node mode)")
 	dbName := fs.String("db", "lms", "primary database name")
 	userDBs := fs.Bool("user-dbs", false, "duplicate job metrics into per-user databases")
 	publish := fs.String("publish", "", "ZeroMQ-style publisher listen address (empty = off)")
@@ -45,19 +57,45 @@ func run(args []string, stdout io.Writer) error {
 	maxBodyMB := fs.Int64("max-body-mb", 0, "refuse /write bodies above this many MiB with 413 (0 = 64)")
 	maxInflightMB := fs.Int64("max-inflight-mb", 0, "shed /write with 429 beyond this many MiB of in-flight bodies (0 = unlimited)")
 	maxInflightReqs := fs.Int64("max-inflight-reqs", 0, "shed /write with 429 beyond this many concurrent requests (0 = unlimited)")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated base URLs of every lms-db cluster node (empty = single -db-url back-end)")
+	replication := fs.Int("replication", 0, "replicas per (db, measurement) in cluster mode (0 = 2)")
+	writeQuorum := fs.Int("write-quorum", 0, "replica acks required before a write acknowledges (0 = 1)")
+	hintsDir := fs.String("hints-dir", "", "durable hinted-handoff directory in cluster mode (empty = hints in memory only)")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
+	peers := cli.SplitList(*clusterPeers)
 
 	cfg := router.Config{
-		Primary:             &tsdb.Client{BaseURL: *dbURL, Database: *dbName},
 		MaxBodyBytes:        *maxBodyMB << 20,
 		MaxInFlightRequests: *maxInflightReqs,
 		MaxInFlightBytes:    *maxInflightMB << 20,
 	}
-	if *userDBs {
-		cfg.UserSink = func(user string) router.Sink {
-			return &tsdb.Client{BaseURL: *dbURL, Database: "user_" + user}
+	var clu *cluster.Cluster
+	if len(peers) > 0 {
+		var err error
+		clu, err = cluster.New(cluster.Config{
+			Peers:       peers,
+			Replication: *replication,
+			WriteQuorum: *writeQuorum,
+			HintsDir:    *hintsDir,
+		})
+		if err != nil {
+			return err
+		}
+		defer clu.Close()
+		cfg.Primary = clu.SinkFor(*dbName)
+		if *userDBs {
+			cfg.UserSink = func(user string) router.Sink {
+				return clu.SinkFor("user_" + user)
+			}
+		}
+	} else {
+		cfg.Primary = &tsdb.Client{BaseURL: *dbURL, Database: *dbName}
+		if *userDBs {
+			cfg.UserSink = func(user string) router.Sink {
+				return &tsdb.Client{BaseURL: *dbURL, Database: "user_" + user}
+			}
 		}
 	}
 	if *publish != "" {
@@ -73,10 +111,18 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if clu != nil {
+		clu.RegisterMetrics(rt.Metrics())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "lms-router: forwarding to %s (db %q) on %s\n", *dbURL, *dbName, ln.Addr())
+	if clu != nil {
+		fmt.Fprintf(stdout, "lms-router: forwarding to %d-node cluster (db %q, R=%d, W=%d, ring %x) on %s\n",
+			len(clu.Ring().Nodes()), *dbName, clu.Replication(), clu.WriteQuorum(), clu.Ring().Generation(), ln.Addr())
+	} else {
+		fmt.Fprintf(stdout, "lms-router: forwarding to %s (db %q) on %s\n", *dbURL, *dbName, ln.Addr())
+	}
 	return http.Serve(ln, rt)
 }

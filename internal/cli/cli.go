@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // ErrUsage marks a command-line usage error; mains exit 2 for it.
@@ -42,6 +43,19 @@ func Parse(fs *flag.FlagSet, args []string, stdout io.Writer) (done bool, err er
 		return true, UsageErr(fs, "%v", err)
 	}
 	return false, nil
+}
+
+// SplitList splits a comma-separated flag value into its non-empty,
+// space-trimmed elements (the -cluster-peers convention). An empty value
+// yields nil.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // UsageErr prints fs's flag listing to stderr and returns a usage error for

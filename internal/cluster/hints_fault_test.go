@@ -1,0 +1,180 @@
+package cluster
+
+// Fault-injection coverage of the hint queue (ISSUE 8 chaos satellite,
+// queue half): the durable handoff log under a failing disk and power
+// cuts. The two-sided acked-prefix oracle from the storage chaos suite
+// applies unchanged: an acknowledged hint must survive crash + reopen,
+// and a recovered hint must come from the attempted prefix — the queue
+// may keep an unacknowledged hint (fault after the bytes landed) but may
+// never lose an acknowledged one or invent one.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/lineproto"
+	"repro/internal/tsdb/durable"
+)
+
+var errInjected = errors.New("injected I/O error")
+
+// hintScenario opens a queue on fs and enqueues n hints with measurements
+// m0..m(n-1), returning how many enqueues acked. openErr reports an open
+// that failed under injection.
+func hintScenario(fs *faultfs.FS, n int) (acked int, openErr error) {
+	q, err := openHintQueue("hints", "http://peer:8086", 0, durable.Options{FS: fs})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := q.enqueue("lms", testPoints(fmt.Sprintf("m%d", i), "h1", 2), 1e9); err != nil {
+			break
+		}
+		acked++
+	}
+	return acked, nil
+}
+
+// recover reopens the queue with injection cleared and returns the
+// recovered hints in order.
+func recoverHints(t *testing.T, fs *faultfs.FS) []hint {
+	t.Helper()
+	fs.SetInject(nil)
+	q, err := openHintQueue("hints", "http://peer:8086", 0, durable.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen after crash failed: %v", err)
+	}
+	defer q.close()
+	return q.pending
+}
+
+func TestHintQueueFaultSweep(t *testing.T) {
+	const batches = 5
+	// Rehearse fault-free to learn the scenario length.
+	dry := faultfs.New()
+	if acked, err := hintScenario(dry, batches); err != nil || acked != batches {
+		t.Fatalf("dry run: acked=%d err=%v", acked, err)
+	}
+	total := dry.Ops()
+
+	for idx := int64(0); idx < total; idx++ {
+		fs := faultfs.New()
+		fs.FailOp(idx, errInjected)
+		acked, openErr := hintScenario(fs, batches)
+		fs.Crash()
+		got := recoverHints(t, fs)
+
+		if openErr != nil && acked != 0 {
+			t.Fatalf("op %d: open failed yet %d hints acked", idx, acked)
+		}
+		if len(got) < acked {
+			t.Fatalf("op %d: acked %d hints, only %d survived crash", idx, acked, len(got))
+		}
+		if len(got) > batches {
+			t.Fatalf("op %d: %d hints recovered, only %d attempted", idx, len(got), batches)
+		}
+		// Recovered hints must be the attempted prefix, byte-exact.
+		for i, h := range got {
+			if h.db != "lms" || len(h.pts) != 2 || h.pts[0].Measurement != fmt.Sprintf("m%d", i) {
+				t.Fatalf("op %d: hint %d corrupted: db=%q pts=%d m=%q", idx, i, h.db, len(h.pts), h.pts[0].Measurement)
+			}
+		}
+	}
+}
+
+// TestHintQueueKillSweep cuts the power at every op index instead of
+// failing one op: everything after the cut is lost, the acked prefix is
+// not.
+func TestHintQueueKillSweep(t *testing.T) {
+	const batches = 4
+	dry := faultfs.New()
+	if _, err := hintScenario(dry, batches); err != nil {
+		t.Fatal(err)
+	}
+	total := dry.Ops()
+
+	for idx := int64(0); idx < total; idx++ {
+		fs := faultfs.New()
+		fs.KillAtOp(idx)
+		acked, _ := hintScenario(fs, batches)
+		fs.Crash()
+		got := recoverHints(t, fs)
+		if len(got) < acked {
+			t.Fatalf("kill at op %d: acked %d hints, only %d recovered", idx, acked, len(got))
+		}
+		for i, h := range got {
+			if h.pts[0].Measurement != fmt.Sprintf("m%d", i) {
+				t.Fatalf("kill at op %d: recovered hint %d out of order: %q", idx, i, h.pts[0].Measurement)
+			}
+		}
+	}
+}
+
+// TestHintQueueCrashMidDrain: a coordinator crash between partial drain
+// and queue-empty keeps every undelivered hint AND re-replays the
+// delivered prefix — at-least-once, made convergent by the store upsert.
+func TestHintQueueCrashMidDrain(t *testing.T) {
+	fs := faultfs.New()
+	q, err := openHintQueue("hints", "http://peer:8086", 0, durable.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.enqueue("lms", testPoints(fmt.Sprintf("m%d", i), "h1", 1), 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Peer accepts one batch, then fails again.
+	delivered := 0
+	_, err = q.drain(func(db string, pts []lineproto.Point) error {
+		if delivered == 1 {
+			return errors.New("peer down again")
+		}
+		delivered++
+		return nil
+	})
+	if err == nil || delivered != 1 {
+		t.Fatalf("drain: delivered=%d err=%v", delivered, err)
+	}
+	if n, _ := q.depth(); n != 2 {
+		t.Fatalf("depth after partial drain: %d", n)
+	}
+
+	fs.Crash()
+	got := recoverHints(t, fs)
+	// The WAL only truncates on a fully drained queue, so the restart
+	// replays all three — including the one already delivered.
+	if len(got) != 3 {
+		t.Fatalf("recovered %d hints after mid-drain crash, want 3", len(got))
+	}
+}
+
+// TestHintQueueReclaimsDiskAfterDrain: a fully drained queue rotates its
+// WAL and removes the drained segments — a healed cluster returns to
+// zero hint bytes on disk.
+func TestHintQueueReclaimsDiskAfterDrain(t *testing.T) {
+	fs := faultfs.New()
+	q, err := openHintQueue("hints", "http://peer:8086", 0, durable.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.enqueue("lms", testPoints(fmt.Sprintf("m%d", i), "h1", 2), 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed, err := q.drain(func(string, []lineproto.Point) error { return nil })
+	if err != nil || replayed != 3 {
+		t.Fatalf("drain: replayed=%d err=%v", replayed, err)
+	}
+	// Reopen: nothing must come back.
+	if err := q.close(); err != nil {
+		t.Fatal(err)
+	}
+	got := recoverHints(t, fs)
+	if len(got) != 0 {
+		t.Fatalf("drained queue recovered %d stale hints", len(got))
+	}
+}

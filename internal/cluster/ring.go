@@ -1,0 +1,160 @@
+// Package cluster turns N independent lms-db nodes into one clustered
+// time-series database (DESIGN.md §12): a consistent-hash ring assigns
+// every (database, measurement) pair to R owning replicas, the write path
+// fans each batch to all owners and acknowledges at write-quorum W with a
+// durable hinted-handoff queue absorbing failed replicas, and a
+// DistributedQuerier implements tsdb.Querier by routing each statement to
+// the ring slice owning its measurement (metadata statements are fanned to
+// every node and union-merged). The paper's stack runs multi-host with a
+// single InfluxDB behind the router; this package is that topology pushed
+// to production scale while keeping the stack's core invariant: query
+// answers are byte-identical whether they come from one node or the ring.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// fnv64a hashes s with FNV-1a (the hash family the tsdb shard router uses,
+// tsdb.go) and finishes with a 64-bit avalanche mix. Plain FNV-1a barely
+// diffuses its high bits on short, near-identical inputs — exactly what
+// virtual-node labels ("url#0", "url#1", …) are — which clumps a node's
+// ring positions and skews ownership by 3-4x; the finalizer restores the
+// uniform spread consistent hashing depends on.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// PlacementKey is the ring key of one (database, measurement) pair. The
+// NUL separator keeps ("a", "bc") and ("ab", "c") distinct. Placement is
+// per measurement, not per series: a measurement lives whole on its owner
+// replicas, so any single replica can answer any SELECT over it exactly —
+// the property that keeps clustered answers byte-identical to a single
+// node (querier.go).
+func PlacementKey(db, measurement string) string {
+	return db + "\x00" + measurement
+}
+
+// DefaultVirtualNodes is the number of ring positions each node occupies.
+// 128 virtual nodes keep the ownership imbalance of a small cluster within
+// a few percent while the full ring stays under a few KiB.
+const DefaultVirtualNodes = 128
+
+type ringPoint struct {
+	hash uint64
+	node int32 // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over a fixed member list.
+// Every participant (each lms-db node, the router) builds its ring from
+// the same -cluster-peers list, so placement is deterministic cluster-wide
+// without any coordination traffic.
+type Ring struct {
+	nodes  []string // sorted, deduplicated member ids (base URLs)
+	points []ringPoint
+	gen    uint64
+}
+
+// NewRing builds the ring over the given member ids (the nodes' HTTP base
+// URLs). The input is sorted and deduplicated, so every process handed the
+// same member set — in any order — builds the identical ring. vnodes <= 0
+// selects DefaultVirtualNodes.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for _, n := range sorted {
+		if n == "" {
+			continue
+		}
+		if len(uniq) == 0 || uniq[len(uniq)-1] != n {
+			uniq = append(uniq, n)
+		}
+	}
+	r := &Ring{nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := fnv64a(n + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full 64-bit hash collision between two nodes' virtual points is
+		// astronomically unlikely, but placement must still be identical on
+		// every process, so ties break on the node id, never on input order.
+		return r.nodes[r.points[a].node] < r.nodes[r.points[b].node]
+	})
+	// The generation is a digest of the membership: two processes agree on
+	// placement iff they agree on this number, so it is exported as a gauge
+	// and compared across /metrics when debugging a misrouted cluster.
+	g := uint64(14695981039346656037)
+	for _, n := range uniq {
+		for i := 0; i < len(n); i++ {
+			g ^= uint64(n[i])
+			g *= 1099511628211
+		}
+		g ^= uint64(0xff)
+		g *= 1099511628211
+	}
+	r.gen = g
+	return r
+}
+
+// Nodes returns the sorted member ids.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Generation identifies the membership: equal generations imply identical
+// placement. Exposed as the lms_cluster_ring_generation gauge.
+func (r *Ring) Generation() uint64 { return r.gen }
+
+// Owners returns the n distinct nodes owning key, in ring order starting
+// at the key's position. n is capped at the member count. The first owner
+// is the primary; the rest are the replicas a write fans to and a read
+// fails over to.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	h := fnv64a(key)
+	// First ring point clockwise of h (wrapping).
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[int32]struct{}, n)
+	for c := 0; c < len(r.points) && len(owners) < n; c++ {
+		p := r.points[(i+c)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		owners = append(owners, r.nodes[p.node])
+	}
+	return owners
+}

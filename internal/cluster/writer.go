@@ -1,0 +1,187 @@
+package cluster
+
+// The replicated write path (DESIGN.md §12). One incoming batch is split
+// by the ring into per-node sub-batches (a point goes to all R owners of
+// its measurement), the sub-batches fan out concurrently, and the batch
+// acknowledges once every owner group reached write-quorum W. A replica
+// that failed an acknowledged write gets its sub-batch parked in the
+// durable hint queue and replayed on heal, so R-W down replicas cost no
+// availability and no acknowledged data.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lineproto"
+	"repro/internal/router"
+	"repro/internal/tsdb"
+)
+
+// dbSink binds the cluster write path to one database. It implements
+// router.Sink, so the router's per-destination batching (one flush per
+// database per ingest round) feeds the ring exactly like it fed a single
+// lms-db.
+type dbSink struct {
+	c  *Cluster
+	db string
+}
+
+// SinkFor returns the replicated write sink of one database. The router
+// plugs these in as Primary and per-user sinks; each WritePoints call is
+// one replicated batch.
+func (c *Cluster) SinkFor(db string) router.Sink {
+	return dbSink{c: c, db: db}
+}
+
+// WritePoints implements router.Sink.
+func (s dbSink) WritePoints(pts []lineproto.Point) error {
+	return s.c.writeDB(s.db, pts)
+}
+
+// writeDB replicates one batch into db. It returns nil iff every owner
+// group in the batch reached write quorum; on a quorum failure the caller
+// (the router) counts the batch dropped and the upstream client retries —
+// replay is safe because same-timestamp rewrites are last-write-wins
+// upserts.
+func (c *Cluster) writeDB(db string, pts []lineproto.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	c.ensureDatabase(db)
+
+	// Zero timestamps are resolved here, once, by the coordinator: if each
+	// replica stamped its own arrival time the copies would diverge and a
+	// read failover would change answers. Same rule as the WAL codec — the
+	// batch that replicates is the batch that acknowledged.
+	now := time.Now().UTC()
+	stamped := pts
+	for i := range pts {
+		if pts[i].Time.IsZero() {
+			stamped = make([]lineproto.Point, len(pts))
+			copy(stamped, pts)
+			for j := range stamped {
+				if stamped[j].Time.IsZero() {
+					stamped[j].Time = now
+				}
+			}
+			break
+		}
+	}
+
+	// Split the batch: per-node sub-batches (input order preserved) and
+	// per-owner-group point counts for the quorum decision. Batches are
+	// usually dominated by a handful of measurements, so the owner lookup
+	// is memoized per measurement.
+	type group struct {
+		owners []string
+		points int
+	}
+	perNode := make(map[string][]lineproto.Point, c.cfg.Replication)
+	groups := make(map[string]*group)
+	ownersOf := make(map[string][]string)
+	for i := range stamped {
+		m := stamped[i].Measurement
+		owners, ok := ownersOf[m]
+		if !ok {
+			owners = c.owners(db, m)
+			ownersOf[m] = owners
+		}
+		gk := strings.Join(owners, "\x00")
+		g := groups[gk]
+		if g == nil {
+			g = &group{owners: owners}
+			groups[gk] = g
+		}
+		g.points++
+		for _, id := range owners {
+			perNode[id] = append(perNode[id], stamped[i])
+		}
+	}
+
+	// Fan out concurrently; the transport underneath is shared and
+	// connection-capped, so a wide ring cannot exhaust sockets.
+	errs := make(map[string]error, len(perNode))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, sub := range perNode {
+		wg.Add(1)
+		go func(id string, sub []lineproto.Point) {
+			defer wg.Done()
+			err := c.writeNode(id, db, sub)
+			mu.Lock()
+			errs[id] = err
+			mu.Unlock()
+		}(id, sub)
+	}
+	wg.Wait()
+
+	// Quorum per owner group: every point's replica set must have at least
+	// W successful writes, else the whole batch reports failure upstream.
+	var quorumErr error
+	for _, g := range groups {
+		acked := 0
+		var lastErr error
+		for _, id := range g.owners {
+			if errs[id] == nil {
+				acked++
+			} else {
+				lastErr = errs[id]
+			}
+		}
+		if acked < c.cfg.WriteQuorum {
+			c.quorumFailures.Add(1)
+			quorumErr = fmt.Errorf("cluster: %d/%d replicas acked %d points (want %d): %w",
+				acked, len(g.owners), g.points, c.cfg.WriteQuorum, lastErr)
+		}
+	}
+	if quorumErr != nil {
+		return quorumErr
+	}
+
+	// The batch is acknowledged. Park the failed replicas' sub-batches as
+	// hints; a hint that cannot be parked (full queue, sealed WAL) is
+	// counted as dropped but does not un-acknowledge the write — quorum
+	// already holds the data.
+	for id, err := range errs {
+		if err == nil {
+			continue
+		}
+		n := c.nodes[id]
+		if n.hints == nil {
+			continue
+		}
+		if herr := n.hints.enqueue(db, perNode[id], now.UnixNano()); herr != nil {
+			n.hintDropped.Add(1)
+			c.logf("cluster: dropping hint for %s (%d points): %v", id, len(perNode[id]), herr)
+		} else {
+			c.kickDrain()
+		}
+	}
+	return nil
+}
+
+// writeNode delivers one sub-batch to a single replica, keeping the
+// per-peer counters.
+func (c *Cluster) writeNode(id, db string, pts []lineproto.Point) error {
+	n := c.nodes[id]
+	var err error
+	if n.local != nil {
+		var ldb *tsdb.DB
+		ldb, err = n.local.OpenDatabase(db)
+		if err == nil {
+			err = ldb.WriteBatch(pts)
+		}
+	} else {
+		err = c.clientFor(id, db).WritePoints(pts)
+	}
+	if err != nil {
+		n.batchesErr.Add(1)
+		n.pointsErr.Add(uint64(len(pts)))
+		return err
+	}
+	n.batchesOK.Add(1)
+	n.pointsOK.Add(uint64(len(pts)))
+	return nil
+}

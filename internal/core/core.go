@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/dashboard"
 	"repro/internal/pubsub"
 	"repro/internal/router"
@@ -51,6 +52,24 @@ type StackConfig struct {
 	PeakDPMFlops float64
 	// Now overrides the router clock (simulations inject simulated time).
 	Now func() time.Time
+
+	// ClusterPeers lists the HTTP base URLs of every lms-db node of a
+	// cluster (DESIGN.md §12). When set, the stack's router forwards
+	// ring-aware — each batch fans to the Replication owners of its
+	// measurement — and every read-side consumer queries through the
+	// cluster's DistributedQuerier. Empty keeps the classic single-node
+	// stack.
+	ClusterPeers []string
+	// ClusterSelf is this stack's own entry in ClusterPeers ("" makes the
+	// stack a pure coordinator owning no ring slice). When set, the
+	// stack's local store backs that ring member.
+	ClusterSelf string
+	// Replication and WriteQuorum are the cluster's R and W (0 = 2 and 1).
+	Replication int
+	WriteQuorum int
+	// HintsDir is the durable hinted-handoff directory (empty = hints in
+	// memory only).
+	HintsDir string
 }
 
 // Stack is one assembled LMS instance.
@@ -65,8 +84,13 @@ type Stack struct {
 
 	// Querier is the read-side API every consumer of this stack is wired
 	// through. In-process stacks get a LocalQuerier over Store; the same
-	// consumers accept a tsdb.Client instead to read from a remote lms-db.
+	// consumers accept a tsdb.Client instead to read from a remote lms-db,
+	// and a clustered stack (StackConfig.ClusterPeers) gets the cluster's
+	// DistributedQuerier here.
 	Querier tsdb.Querier
+
+	// Cluster is the ring view of a clustered stack; nil otherwise.
+	Cluster *cluster.Cluster
 
 	DBHandler *tsdb.Handler // InfluxDB-compatible HTTP API of the store
 	cfg       StackConfig
@@ -109,18 +133,54 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		}
 	}
 
+	// A clustered stack routes writes over the consistent-hash ring and
+	// reads through the distributed querier; the classic stack keeps its
+	// in-process sinks and local querier.
+	var clu *cluster.Cluster
+	if len(cfg.ClusterPeers) > 0 {
+		ccfg := cluster.Config{
+			Peers:       cfg.ClusterPeers,
+			Self:        cfg.ClusterSelf,
+			Replication: cfg.Replication,
+			WriteQuorum: cfg.WriteQuorum,
+			HintsDir:    cfg.HintsDir,
+		}
+		if cfg.ClusterSelf != "" {
+			ccfg.SelfStore = store
+		}
+		clu, err = cluster.New(ccfg)
+		if err != nil {
+			if pub != nil {
+				_ = pub.Close()
+			}
+			_ = store.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
 	rcfg := router.Config{
 		Primary:   router.LocalSink{DB: db},
 		Publisher: pub,
 		Now:       cfg.Now,
 	}
+	if clu != nil {
+		rcfg.Primary = clu.SinkFor(cfg.DBName)
+	}
 	if cfg.PerUserDBs {
 		rcfg.UserSink = func(user string) router.Sink {
 			return router.LocalSink{DB: store.CreateDatabase("user_" + user)}
 		}
+		if clu != nil {
+			rcfg.UserSink = func(user string) router.Sink {
+				return clu.SinkFor("user_" + user)
+			}
+		}
 	}
 	rt, err := router.New(rcfg)
 	if err != nil {
+		if clu != nil {
+			_ = clu.Close()
+		}
 		if pub != nil {
 			_ = pub.Close()
 		}
@@ -128,7 +188,10 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return nil, err
 	}
 
-	qr := tsdb.LocalQuerier{Store: store}
+	var qr tsdb.Querier = tsdb.LocalQuerier{Store: store}
+	if clu != nil {
+		qr = clu.Querier()
+	}
 	ev := &analysis.Evaluator{
 		Querier:      qr,
 		Database:     cfg.DBName,
@@ -142,6 +205,11 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		viewer.Now = cfg.Now
 	}
 
+	handler := tsdb.NewHandler(store)
+	if clu != nil {
+		handler.Distributed = clu.Querier()
+		clu.RegisterMetrics(store.Metrics().Registry())
+	}
 	return &Stack{
 		Store:     store,
 		DB:        db,
@@ -151,7 +219,8 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Agent:     agent,
 		Viewer:    viewer,
 		Querier:   qr,
-		DBHandler: tsdb.NewHandler(store),
+		Cluster:   clu,
+		DBHandler: handler,
 		cfg:       cfg,
 	}, nil
 }
@@ -165,8 +234,13 @@ func (s *Stack) DBName() string { return s.cfg.DBName }
 // tail on the next start instead of loading one clean checkpoint.
 func (s *Stack) Close() error {
 	var perr error
+	if s.Cluster != nil {
+		perr = s.Cluster.Close()
+	}
 	if s.Publisher != nil {
-		perr = s.Publisher.Close()
+		if err := s.Publisher.Close(); perr == nil {
+			perr = err
+		}
 	}
 	if serr := s.Store.Close(); serr != nil {
 		return serr

@@ -56,6 +56,14 @@ type Handler struct {
 	// before serving.
 	Logf func(format string, args ...interface{})
 
+	// Distributed, when set, coordinates /query across a cluster: each
+	// statement is routed to the replicas owning its measurement and the
+	// answers merged (internal/cluster). Requests carrying local=1 — sent
+	// by peer coordinators — bypass it and answer from the local store, so
+	// coordination never loops. /write is unaffected: the router places
+	// writes on the ring before they reach a node. Set before serving.
+	Distributed Querier
+
 	// gate is the ingest admission controller (SetAdmission); nil admits
 	// everything.
 	gate *obs.Gate
@@ -308,6 +316,15 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	w.Header().Set("Content-Type", "application/json")
+	if h.Distributed != nil && params.Get("local") != "1" {
+		h.serveDistributed(w, r, Request{
+			Database:   dbName,
+			Statements: stmts,
+			Epoch:      epoch,
+			Limit:      limit,
+		}, params.Get("chunked") == "true")
+		return
+	}
 	if params.Get("chunked") == "true" {
 		// Chunked: one complete {"results":[...]} document per statement,
 		// flushed as soon as it is computed. The client side merges the
@@ -345,6 +362,34 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// serveDistributed answers /query through the cluster coordinator. The
+// whole response is computed before the first byte is written: a replica
+// set that is entirely unreachable becomes a 502 the client retries,
+// instead of a half-streamed document. Chunked rendering then replays the
+// computed results one document at a time, matching the local path's wire
+// format.
+func (h *Handler) serveDistributed(w http.ResponseWriter, r *http.Request, req Request, chunked bool) {
+	resp, err := h.Distributed.Query(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "cluster query: %v", err)
+		return
+	}
+	if chunked {
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for _, res := range resp.Results {
+			if err := enc.Encode(Response{Results: []ExecResult{res}}); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 // Transport defaults of the package-level HTTP client. The zero
 // http.DefaultClient has no timeout at all — one hung lms-db connection
 // would wedge a dashboard worker forever — so Client defaults to a pooled
@@ -361,12 +406,19 @@ const (
 )
 
 // defaultHTTPClient is shared by every Client without an explicit
-// HTTPClient, so connections to the same lms-db are pooled process-wide.
+// HTTPClient, so connections to the same lms-db are pooled process-wide —
+// including every per-peer client the cluster coordinator builds, which
+// is why the per-host limits are explicit: MaxConnsPerHost caps what a
+// replication fan-out under load can open against one peer (excess
+// requests queue on the pool instead of exhausting sockets), and
+// MaxIdleConnsPerHost keeps enough of them warm that steady-state
+// fan-out never redials.
 var defaultHTTPClient = &http.Client{
 	Timeout: DefaultClientTimeout,
 	Transport: &http.Transport{
-		MaxIdleConns:        64,
+		MaxIdleConns:        128,
 		MaxIdleConnsPerHost: 16,
+		MaxConnsPerHost:     64,
 		IdleConnTimeout:     90 * time.Second,
 	},
 }
@@ -392,6 +444,11 @@ type Client struct {
 	// RetryBackoff is the first retry delay, doubling per attempt; 0
 	// selects DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// Params are extra URL parameters added to every /write and /query
+	// request. The cluster coordinator marks its fan-out requests with
+	// local=1 so a peer answers from its own store instead of
+	// re-coordinating (loop prevention).
+	Params url.Values
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -434,6 +491,9 @@ func (c *Client) Ping() error {
 // WriteBody posts a raw line-protocol payload.
 func (c *Client) WriteBody(body []byte) error {
 	vals := url.Values{}
+	for k, vs := range c.Params {
+		vals[k] = vs
+	}
 	vals.Set("db", c.Database)
 	resp, err := c.httpClient().Post(c.BaseURL+"/write?"+vals.Encode(), "text/plain", readerOf(body))
 	if err != nil {
@@ -479,6 +539,9 @@ func (c *Client) Query(ctx context.Context, req Request) (Response, error) {
 		dbName = c.Database
 	}
 	vals := url.Values{}
+	for k, vs := range c.Params {
+		vals[k] = vs
+	}
 	vals.Set("q", qtext)
 	if dbName != "" {
 		vals.Set("db", dbName)
