@@ -584,6 +584,202 @@ func BenchmarkO3_TSDBQueryInfluxQL(b *testing.B) {
 	}
 }
 
+// --- C: compressed run state (DESIGN.md §13) ------------------------------
+
+// loadFootprintDB builds the BenchmarkO3_TSDBMemoryFootprint data set:
+// 1M points over 4 series, float+int fields, in-order 1000-point batches.
+func loadFootprintDB(b *testing.B, points int) *tsdb.DB {
+	b.Helper()
+	const (
+		perB   = 1000
+		series = 4
+	)
+	db := tsdb.NewDBShards("lms", 4)
+	pts := make([]lineproto.Point, perB)
+	for wrote := 0; wrote < points; wrote += perB {
+		for k := range pts {
+			n := wrote + k
+			pts[k] = lineproto.Point{
+				Measurement: "cpu",
+				Tags:        map[string]string{"hostname": fmt.Sprintf("h%d", n%series)},
+				Fields: map[string]lineproto.Value{
+					"value": lineproto.Float(float64(n)),
+					"ops":   lineproto.Int(int64(n % 4096)),
+				},
+				Time: time.Unix(int64(n/series), int64(n%series)),
+			}
+		}
+		if err := db.WriteBatch(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkC1_CompressThroughput measures the chunk encoders over the 1M
+// point footprint data set: points/s through Compress() and the heap
+// bytes the compressed state releases.
+func BenchmarkC1_CompressThroughput(b *testing.B) {
+	const points = 1_000_000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := loadFootprintDB(b, points)
+		b.StartTimer()
+		if db.Compress() == 0 {
+			b.Fatal("nothing compressed")
+		}
+		runtime.KeepAlive(db)
+	}
+	b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkC2_CompressedSelect measures the phase-2 vectorized decode
+// feeding the aggregation sweeps: a full-scan mean over 1M compressed
+// points, per-worker arenas reused across calls. ns/op over points is the
+// decode throughput EXPERIMENTS.md records.
+func BenchmarkC2_CompressedSelect(b *testing.B) {
+	const points = 1_000_000
+	db := loadFootprintDB(b, points)
+	db.SetQueryCacheTTL(0)
+	db.Compress()
+	q := tsdb.Query{Measurement: "cpu", Fields: []string{"value"}, Agg: tsdb.AggMean}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Select(q)
+		if err != nil || len(res) != 1 {
+			b.Fatal(err, res)
+		}
+	}
+	b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkC3_TSDBMemoryFootprintCompressed is the compressed steady
+// state of BenchmarkO3_TSDBMemoryFootprint: same 1M-point load, then
+// Compress(), then the live heap is measured. The PR 9 acceptance floor
+// is < 8 bytes/point (raw columnar sits at ~26).
+func BenchmarkC3_TSDBMemoryFootprintCompressed(b *testing.B) {
+	const points = 1_000_000
+	var bytesPerPoint float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.StartTimer()
+
+		db := loadFootprintDB(b, points)
+		db.Compress()
+
+		b.StopTimer()
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		bytesPerPoint = float64(after.HeapAlloc-before.HeapAlloc) / points
+		if got := db.PointCount(); got != points {
+			b.Fatalf("PointCount = %d, want %d", got, points)
+		}
+		runtime.KeepAlive(db)
+		b.StartTimer()
+	}
+	b.ReportMetric(bytesPerPoint, "bytes/point")
+	b.ReportMetric(points, "points")
+}
+
+// benchCompressedStoreDir builds a durable store holding 200k compressed
+// points, checkpoints and closes it, returning the directory and the
+// on-disk snapshot size (checkpoint frames store the chunks verbatim).
+func benchCompressedStoreDir(b *testing.B, points int) (string, int64) {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := tsdb.OpenStore(tsdb.StoreOptions{
+		ShardsPerDB: 4,
+		Durability:  tsdb.Durability{Dir: dir, Fsync: durable.FsyncOff},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := st.OpenDatabase("lms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const perB, series = 1000, 4
+	pts := make([]lineproto.Point, perB)
+	for wrote := 0; wrote < points; wrote += perB {
+		for k := range pts {
+			n := wrote + k
+			pts[k] = lineproto.Point{
+				Measurement: "cpu",
+				Tags:        map[string]string{"hostname": fmt.Sprintf("h%d", n%series)},
+				Fields: map[string]lineproto.Value{
+					"value": lineproto.Float(float64(n)),
+					"ops":   lineproto.Int(int64(n % 4096)),
+				},
+				Time: time.Unix(int64(n/series), int64(n%series)),
+			}
+		}
+		if err := db.WriteBatch(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.Compress()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var snapBytes int64
+	matches, err := filepath.Glob(filepath.Join(dir, "lms", "checkpoint-*.snap"))
+	if err != nil || len(matches) == 0 {
+		b.Fatalf("no checkpoint written: %v", err)
+	}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapBytes += fi.Size()
+	}
+	return dir, snapBytes
+}
+
+// BenchmarkC4_CheckpointCompressed measures the checkpoint written over a
+// compressed resident set: on-disk bytes/point (compressed frames are
+// stored verbatim, no re-encoding) and the wall time of the final
+// checkpoint+close.
+func BenchmarkC4_CheckpointCompressed(b *testing.B) {
+	const points = 200_000
+	var snapBytes int64
+	for i := 0; i < b.N; i++ {
+		_, snapBytes = benchCompressedStoreDir(b, points)
+	}
+	b.ReportMetric(float64(snapBytes)/points, "snapbytes/point")
+}
+
+// BenchmarkC5_RecoveryCompressed measures reopening a store whose latest
+// checkpoint holds compressed frames: recovery adopts the chunks without
+// decoding, so startup cost is proportional to the compressed size.
+func BenchmarkC5_RecoveryCompressed(b *testing.B) {
+	const points = 200_000
+	dir, _ := benchCompressedStoreDir(b, points)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := tsdb.OpenStore(tsdb.StoreOptions{
+			ShardsPerDB: 4,
+			Durability:  tsdb.Durability{Dir: dir, Fsync: durable.FsyncOff},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := st.DB("lms").PointCount(); got != points {
+			b.Fatalf("recovered %d points, want %d", got, points)
+		}
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
 // --- O4: libusermetric --------------------------------------------------------
 
 // newBenchHTTPServer serves a real tsdb over HTTP for the libusermetric

@@ -59,6 +59,7 @@ func run(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", ":8086", "listen address")
 	dbName := fs.String("db", "lms", "database to create at startup")
 	retention := fs.Duration("retention", 0, "drop data older than this (0 = keep forever)")
+	compressAfter := fs.Duration("compress-after", 0, "compress sealed runs idle this long (0 = off; try 1m)")
 	shards := fs.Int("shards", 0, "lock shards per database (0 = GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	fsync := fs.String("fsync", "batch", "WAL fsync policy with -data-dir: batch, interval or off")
@@ -84,7 +85,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	store, err := tsdb.OpenStore(tsdb.StoreOptions{
-		ShardsPerDB: *shards,
+		ShardsPerDB:   *shards,
+		CompressAfter: *compressAfter,
 		Durability: tsdb.Durability{
 			Dir: *dataDir, Fsync: policy,
 			SegmentBytes: *segmentBytes, CheckpointBytes: *checkpointBytes,

@@ -33,6 +33,11 @@ type StackConfig struct {
 	PubSubHWM int
 	// Retention prunes data older than this from the primary DB (0 = keep).
 	Retention time.Duration
+	// CompressAfter re-encodes sealed columnar runs that have gone this
+	// long without a mutation into compressed chunks (DESIGN.md §13),
+	// cutting resident memory several-fold; queries stay byte-identical.
+	// Zero keeps every run raw.
+	CompressAfter time.Duration
 	// DataDir enables the durable storage engine (WAL + on-disk columnar
 	// checkpoints, DESIGN.md §9): every database lives under this
 	// directory and survives restarts. Empty keeps the stack in memory
@@ -108,6 +113,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	store, err := tsdb.OpenStore(tsdb.StoreOptions{
 		ShardsPerDB:       cfg.TSDBShards,
 		QueryWorkersPerDB: cfg.QueryWorkers,
+		CompressAfter:     cfg.CompressAfter,
 		Durability:        tsdb.Durability{Dir: cfg.DataDir, Fsync: fsync},
 	})
 	if err != nil {

@@ -1,0 +1,128 @@
+package tsdb
+
+// Bit-granular stream reader/writer backing the compressed chunk codecs
+// (compress.go, DESIGN.md §13). Bits are packed MSB-first into bytes —
+// the layout Gorilla, Prometheus and InfluxDB use — so a chunk is a plain
+// []byte that the durable snapshot codec can frame and CRC without
+// knowing anything about its contents.
+//
+// The writer grows a byte slice and never fails; the reader is fully
+// bounds-checked and returns errShortChunk instead of panicking, because
+// query-time decode may face bytes that came off a disk (the checkpoint
+// CRC makes corruption here effectively unreachable, but the fuzz targets
+// hold the decoder to "never panics" regardless).
+
+import "errors"
+
+var errShortChunk = errors.New("tsdb: compressed chunk truncated")
+
+// bitWriter appends bits MSB-first to a byte slice.
+type bitWriter struct {
+	b    []byte
+	free uint8 // unwritten bits remaining in the last byte of b
+}
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(bit bool) {
+	if w.free == 0 {
+		w.b = append(w.b, 0)
+		w.free = 8
+	}
+	if bit {
+		w.b[len(w.b)-1] |= 1 << (w.free - 1)
+	}
+	w.free--
+}
+
+// writeByte appends 8 bits.
+func (w *bitWriter) writeByte(v byte) {
+	if w.free == 0 {
+		w.b = append(w.b, v)
+		return
+	}
+	// Split across the partial last byte and a fresh one.
+	i := len(w.b) - 1
+	w.b[i] |= v >> (8 - w.free)
+	w.b = append(w.b, v<<w.free)
+}
+
+// writeBits appends the low n bits of v (1 <= n <= 64), MSB-first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	v <<= 64 - n
+	for n >= 8 {
+		w.writeByte(byte(v >> 56))
+		v <<= 8
+		n -= 8
+	}
+	for n > 0 {
+		w.writeBit(v>>63 == 1)
+		v <<= 1
+		n--
+	}
+}
+
+// bytes returns the finished stream. Trailing free bits stay zero.
+func (w *bitWriter) bytes() []byte { return w.b }
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b    []byte
+	pos  int   // next byte to consume from
+	used uint8 // bits already consumed of b[pos]
+}
+
+// readBit consumes a single bit.
+func (r *bitReader) readBit() (bool, error) {
+	if r.pos >= len(r.b) {
+		return false, errShortChunk
+	}
+	bit := r.b[r.pos]&(1<<(7-r.used)) != 0
+	if r.used++; r.used == 8 {
+		r.pos++
+		r.used = 0
+	}
+	return bit, nil
+}
+
+// readByte consumes 8 bits.
+func (r *bitReader) readByte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, errShortChunk
+	}
+	if r.used == 0 {
+		v := r.b[r.pos]
+		r.pos++
+		return v, nil
+	}
+	if r.pos+1 >= len(r.b) {
+		return 0, errShortChunk
+	}
+	v := r.b[r.pos]<<r.used | r.b[r.pos+1]>>(8-r.used)
+	r.pos++
+	return v, nil
+}
+
+// readBits consumes n bits (1 <= n <= 64) into the low bits of the result.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n >= 8 {
+		b, err := r.readByte()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<8 | uint64(b)
+		n -= 8
+	}
+	for n > 0 {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+		n--
+	}
+	return v, nil
+}

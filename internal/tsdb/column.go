@@ -491,9 +491,24 @@ func pastSparseRollLimit(r *colRun, b *runBuilder) bool {
 // layout: the timestamp column plus one col per field seen in the run.
 // Every col covers exactly len(ts) rows once the owning writeBatch commit
 // returns.
+//
+// A run lives in one of two resident states: sealed (ts/cols hold the raw
+// typed arrays) or compressed (comp holds the Gorilla-encoded chunks,
+// ts/cols are nil — compress.go, DESIGN.md §13). Both states obey the
+// same reader contract: everything a snapshot captures under the shard
+// RLock stays immutable after the lock is released.
 type colRun struct {
 	ts   []int64
 	cols []col
+
+	// comp is the compressed form; non-nil exactly when ts/cols are nil.
+	comp *compRun
+	// modNS is the wall-clock unix ns of the last mutation; the background
+	// compressor only touches runs idle past the configured window.
+	modNS int64
+	// gen counts in-place mutations (appendBlock/rewriteBlock), so the
+	// compressor can encode outside the lock and verify-and-swap under it.
+	gen uint64
 }
 
 func (r *colRun) colByName(name string) int {
@@ -503,6 +518,23 @@ func (r *colRun) colByName(name string) int {
 		}
 	}
 	return -1
+}
+
+// rows is the run's row count in either resident state.
+func (r *colRun) rows() int {
+	if r.comp != nil {
+		return r.comp.n
+	}
+	return len(r.ts)
+}
+
+// rawRun returns the sealed (raw-column) form of the run, decompressing a
+// compressed run into fresh arrays. strsLen bounds decoded string ids.
+func (r *colRun) rawRun(strsLen int) (*colRun, error) {
+	if r.comp == nil {
+		return r, nil
+	}
+	return r.comp.decompress(strsLen)
 }
 
 // appendBlock extends the run with a finished builder block whose first

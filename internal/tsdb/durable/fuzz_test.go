@@ -168,22 +168,44 @@ func FuzzCheckpointDecode(f *testing.F) {
 			}},
 		}},
 	}}}
-	f.Add(appendSnapshot(nil, snap))
-	f.Add(appendSnapshot(nil, &Snapshot{}))
-	f.Add([]byte{0x01})             // one measurement, then nothing
-	f.Add([]byte{0xff, 0xff, 0x7f}) // implausible measurement count
+	compSnap := &Snapshot{Measurements: []Measurement{{
+		Name:   "cpu",
+		Fields: []FieldSchema{{Name: "user", Kind: lineproto.KindFloat}},
+		Series: []Series{{
+			Tags: map[string]string{"host": "a"},
+			Runs: []Run{{Comp: &CompRun{
+				N: 3, MinTS: 100, MaxTS: 350, RawBytes: 48,
+				Ts: []byte{1, 2, 3, 4, 5, 6, 7, 8, 0xaa},
+				Cols: []CompCol{{Name: "user", Kind: lineproto.KindFloat,
+					Data: []byte{9, 8, 7, 6, 5, 4, 3, 2, 0x55}}},
+			}}},
+		}},
+	}}}
+	for _, version := range []int{SnapV1, SnapV2} {
+		f.Add(appendSnapshot(nil, snap, version), version)
+		f.Add(appendSnapshot(nil, &Snapshot{}, version), version)
+	}
+	f.Add(appendSnapshot(nil, compSnap, SnapV2), SnapV2)
+	f.Add([]byte{0x01}, SnapV2)             // one measurement, then nothing
+	f.Add([]byte{0xff, 0xff, 0x7f}, SnapV1) // implausible measurement count
 
-	f.Fuzz(func(t *testing.T, payload []byte) {
-		s, err := decodeSnapshot(payload)
+	f.Fuzz(func(t *testing.T, payload []byte, version int) {
+		if version != SnapV1 {
+			version = SnapV2 // the loader only ever passes known versions
+		}
+		s, err := decodeSnapshot(payload, version)
 		if err != nil {
 			return
 		}
-		enc := appendSnapshot(nil, s)
-		s2, err := decodeSnapshot(enc)
+		// Accepted V1 payloads hold raw runs only, so re-encoding at the
+		// same version always succeeds; the fixed-point property is per
+		// version.
+		enc := appendSnapshot(nil, s, version)
+		s2, err := decodeSnapshot(enc, version)
 		if err != nil {
 			t.Fatalf("canonical encoding does not decode: %v", err)
 		}
-		if enc2 := appendSnapshot(nil, s2); !bytes.Equal(enc, enc2) {
+		if enc2 := appendSnapshot(nil, s2, version); !bytes.Equal(enc, enc2) {
 			t.Fatalf("codec is not a fixed point: %d vs %d bytes", len(enc), len(enc2))
 		}
 	})

@@ -41,7 +41,27 @@ import (
 	"repro/internal/lineproto"
 )
 
-const snapMagic = "LMSCKP1\n"
+// Checkpoint format versions. V1 (PR 5) stores every run as raw
+// delta/varint-encoded columns; V2 adds a per-run kind byte so compressed
+// runs can carry their Gorilla-style chunks to disk verbatim — checkpoint
+// write skips re-encoding, recovery loads them without a decode pass. The
+// loader reads both; the writer emits V2 (SnapV1 stays writable for
+// back-compat tests and downgrade tooling, raw runs only).
+const (
+	SnapV1 = 1
+	SnapV2 = 2
+)
+
+const (
+	snapMagicV1 = "LMSCKP1\n"
+	snapMagicV2 = "LMSCKP2\n"
+)
+
+// Per-run kind bytes (V2 frames).
+const (
+	runKindRaw  = 0
+	runKindComp = 1
+)
 
 // Snapshot is the neutral, format-owning image of one database.
 type Snapshot struct {
@@ -68,11 +88,35 @@ type Series struct {
 	Runs []Run
 }
 
-// Run is one sorted columnar run: a timestamp column plus one column per
-// field present in the run.
+// Run is one sorted columnar run: either raw (a timestamp column plus one
+// column per field) or compressed (Comp non-nil, Ts/Cols empty; V2 files
+// only).
 type Run struct {
 	Ts   []int64
 	Cols []Col
+	Comp *CompRun
+}
+
+// CompRun mirrors the tsdb layer's compressed run: per-column chunk bytes
+// plus the header fields needed without decoding. The durable layer
+// frames and CRCs the chunks; it never decodes them.
+type CompRun struct {
+	N            int
+	MinTS, MaxTS int64
+	RawBytes     int64
+	Ts           []byte // delta-of-delta timestamp chunk
+	Cols         []CompCol
+}
+
+// CompCol is one field's compressed column chunk.
+type CompCol struct {
+	Name    string
+	Kind    lineproto.ValueKind
+	Mixed   bool
+	Width   uint8
+	Present []uint64
+	Data    []byte
+	Vals    []lineproto.Value // mixed columns stay raw
 }
 
 // Col is one field's value column. Exactly one value arm is populated:
@@ -105,7 +149,7 @@ func parseSnapshotName(name string) (int, bool) {
 
 // --- encoding ----------------------------------------------------------
 
-func appendSnapshot(dst []byte, s *Snapshot) []byte {
+func appendSnapshot(dst []byte, s *Snapshot, version int) []byte {
 	dst = appendUvarint(dst, uint64(len(s.Measurements)))
 	for mi := range s.Measurements {
 		m := &s.Measurements[mi]
@@ -121,13 +165,13 @@ func appendSnapshot(dst []byte, s *Snapshot) []byte {
 		}
 		dst = appendUvarint(dst, uint64(len(m.Series)))
 		for si := range m.Series {
-			dst = appendSeries(dst, &m.Series[si])
+			dst = appendSeries(dst, &m.Series[si], version)
 		}
 	}
 	return dst
 }
 
-func appendSeries(dst []byte, sr *Series) []byte {
+func appendSeries(dst []byte, sr *Series, version int) []byte {
 	keys := make([]string, 0, len(sr.Tags))
 	for k := range sr.Tags {
 		keys = append(keys, k)
@@ -140,12 +184,19 @@ func appendSeries(dst []byte, sr *Series) []byte {
 	}
 	dst = appendUvarint(dst, uint64(len(sr.Runs)))
 	for ri := range sr.Runs {
-		dst = appendRun(dst, &sr.Runs[ri])
+		dst = appendRun(dst, &sr.Runs[ri], version)
 	}
 	return dst
 }
 
-func appendRun(dst []byte, r *Run) []byte {
+func appendRun(dst []byte, r *Run, version int) []byte {
+	if version >= SnapV2 {
+		if r.Comp != nil {
+			dst = append(dst, runKindComp)
+			return appendCompRun(dst, r.Comp)
+		}
+		dst = append(dst, runKindRaw)
+	}
 	n := len(r.Ts)
 	dst = appendUvarint(dst, uint64(n))
 	if n > 0 {
@@ -159,6 +210,46 @@ func appendRun(dst []byte, r *Run) []byte {
 		dst = appendCol(dst, &r.Cols[ci], n)
 	}
 	return dst
+}
+
+func appendCompRun(dst []byte, c *CompRun) []byte {
+	dst = appendUvarint(dst, uint64(c.N))
+	dst = appendFixed64(dst, uint64(c.MinTS))
+	dst = appendFixed64(dst, uint64(c.MaxTS))
+	dst = appendUvarint(dst, uint64(c.RawBytes))
+	dst = appendBytes(dst, c.Ts)
+	dst = appendUvarint(dst, uint64(len(c.Cols)))
+	for ci := range c.Cols {
+		cc := &c.Cols[ci]
+		dst = appendString(dst, cc.Name)
+		dst = append(dst, byte(cc.Kind))
+		flags := byte(0)
+		if cc.Mixed {
+			flags |= colFlagMixed
+		}
+		if cc.Present != nil {
+			flags |= colFlagPresent
+		}
+		dst = append(dst, flags, cc.Width)
+		if cc.Present != nil {
+			for _, w := range cc.Present {
+				dst = appendFixed64(dst, w)
+			}
+		}
+		if cc.Mixed {
+			for i := 0; i < c.N; i++ {
+				dst = appendValue(dst, cc.Vals[i])
+			}
+		} else {
+			dst = appendBytes(dst, cc.Data)
+		}
+	}
+	return dst
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
 }
 
 const (
@@ -205,7 +296,7 @@ func appendCol(dst []byte, c *Col, n int) []byte {
 
 // --- decoding ----------------------------------------------------------
 
-func decodeSnapshot(payload []byte) (*Snapshot, error) {
+func decodeSnapshot(payload []byte, version int) (*Snapshot, error) {
 	r := &batchReader{b: payload}
 	nm, err := r.count()
 	if err != nil {
@@ -216,7 +307,7 @@ func decodeSnapshot(payload []byte) (*Snapshot, error) {
 		s.Measurements = make([]Measurement, 0, nm)
 	}
 	for i := 0; i < nm; i++ {
-		m, err := decodeMeasurement(r)
+		m, err := decodeMeasurement(r, version)
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +319,7 @@ func decodeSnapshot(payload []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-func decodeMeasurement(r *batchReader) (Measurement, error) {
+func decodeMeasurement(r *batchReader, version int) (Measurement, error) {
 	var m Measurement
 	var err error
 	if m.Name, err = r.str(); err != nil {
@@ -275,7 +366,7 @@ func decodeMeasurement(r *batchReader) (Measurement, error) {
 		m.Series = make([]Series, 0, nser)
 	}
 	for i := 0; i < nser; i++ {
-		sr, err := decodeSeries(r)
+		sr, err := decodeSeries(r, version)
 		if err != nil {
 			return m, err
 		}
@@ -284,7 +375,7 @@ func decodeMeasurement(r *batchReader) (Measurement, error) {
 	return m, nil
 }
 
-func decodeSeries(r *batchReader) (Series, error) {
+func decodeSeries(r *batchReader, version int) (Series, error) {
 	var sr Series
 	nt, err := r.count()
 	if err != nil {
@@ -312,7 +403,7 @@ func decodeSeries(r *batchReader) (Series, error) {
 		sr.Runs = make([]Run, 0, nr)
 	}
 	for i := 0; i < nr; i++ {
-		run, err := decodeRun(r)
+		run, err := decodeRun(r, version)
 		if err != nil {
 			return sr, err
 		}
@@ -321,8 +412,27 @@ func decodeSeries(r *batchReader) (Series, error) {
 	return sr, nil
 }
 
-func decodeRun(r *batchReader) (Run, error) {
+func decodeRun(r *batchReader, version int) (Run, error) {
 	var run Run
+	if version >= SnapV2 {
+		if len(r.b) < 1 {
+			return run, errShortBatch
+		}
+		kind := r.b[0]
+		r.b = r.b[1:]
+		switch kind {
+		case runKindRaw:
+		case runKindComp:
+			c, err := decodeCompRun(r)
+			if err != nil {
+				return run, err
+			}
+			run.Comp = c
+			return run, nil
+		default:
+			return run, fmt.Errorf("durable: unknown run kind %d", kind)
+		}
+	}
 	n64, err := r.uvarint()
 	if err != nil {
 		return run, err
@@ -427,6 +537,141 @@ func decodeCol(r *batchReader, n int) (Col, error) {
 	return c, nil
 }
 
+// byteSlice reads a length-prefixed chunk. The returned slice is a copy,
+// so the caller may retain it past the payload buffer.
+func (r *batchReader) byteSlice() ([]byte, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return b, nil
+}
+
+// decodeCompRun reads one compressed run frame. The chunks themselves are
+// opaque here, but their row count is sanity-checked against the minimum
+// bits each codec spends per row, so a corrupt count that slipped past
+// the CRC cannot make recovery allocate wild amounts or hand the query
+// path a chunk shorter than its header claims.
+func decodeCompRun(r *batchReader) (*CompRun, error) {
+	c := &CompRun{}
+	n64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Timestamps cost at least 1 bit/row after the 64-bit anchor, so a row
+	// count beyond 8x the remaining payload is structurally impossible.
+	if n64 == 0 || n64 > uint64(len(r.b))*8 {
+		return nil, fmt.Errorf("durable: implausible compressed run length %d", n64)
+	}
+	c.N = int(n64)
+	min64, err := r.fixed64()
+	if err != nil {
+		return nil, err
+	}
+	max64, err := r.fixed64()
+	if err != nil {
+		return nil, err
+	}
+	c.MinTS, c.MaxTS = int64(min64), int64(max64)
+	if c.MinTS > c.MaxTS {
+		return nil, fmt.Errorf("durable: compressed run bounds inverted")
+	}
+	raw64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	c.RawBytes = int64(raw64)
+	if c.Ts, err = r.byteSlice(); err != nil {
+		return nil, err
+	}
+	if len(c.Ts)*8 < 64+(c.N-1) {
+		return nil, fmt.Errorf("durable: timestamp chunk shorter than %d rows", c.N)
+	}
+	nc, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if nc > 0 {
+		c.Cols = make([]CompCol, 0, nc)
+	}
+	for i := 0; i < nc; i++ {
+		cc, err := decodeCompCol(r, c.N)
+		if err != nil {
+			return nil, err
+		}
+		c.Cols = append(c.Cols, cc)
+	}
+	return c, nil
+}
+
+func decodeCompCol(r *batchReader, n int) (CompCol, error) {
+	var c CompCol
+	var err error
+	if c.Name, err = r.str(); err != nil {
+		return c, err
+	}
+	if len(r.b) < 3 {
+		return c, errShortBatch
+	}
+	c.Kind = lineproto.ValueKind(r.b[0])
+	flags := r.b[1]
+	c.Width = r.b[2]
+	r.b = r.b[3:]
+	c.Mixed = flags&colFlagMixed != 0
+	if flags&colFlagPresent != 0 {
+		words := (n + 63) / 64
+		c.Present = make([]uint64, words)
+		for i := 0; i < words; i++ {
+			w, err := r.fixed64()
+			if err != nil {
+				return c, err
+			}
+			c.Present[i] = w
+		}
+	}
+	if c.Mixed {
+		if n > len(r.b) { // every encoded value costs at least one byte
+			return c, errShortBatch
+		}
+		c.Vals = make([]lineproto.Value, n)
+		for i := 0; i < n; i++ {
+			if c.Vals[i], err = r.value(); err != nil {
+				return c, err
+			}
+		}
+		return c, nil
+	}
+	if c.Data, err = r.byteSlice(); err != nil {
+		return c, err
+	}
+	// Per-codec minimum chunk sizes for n rows (see tsdb/compress.go):
+	// XOR floats spend 64 bits on the first value and >= 1 bit after,
+	// varint ints >= 1 byte/row, bit-packed string ids Width bits/row.
+	switch {
+	case c.Kind == lineproto.KindFloat:
+		if len(c.Data)*8 < 64+(n-1) {
+			return c, fmt.Errorf("durable: float chunk shorter than %d rows", n)
+		}
+	case c.Kind == lineproto.KindString:
+		if c.Width > 32 {
+			return c, fmt.Errorf("durable: string-id width %d out of range", c.Width)
+		}
+		if len(c.Data)*8 < int(c.Width)*n {
+			return c, fmt.Errorf("durable: string-id chunk shorter than %d rows", n)
+		}
+	default: // KindInt, KindBool
+		if len(c.Data) < n {
+			return c, fmt.Errorf("durable: int chunk shorter than %d rows", n)
+		}
+	}
+	return c, nil
+}
+
 // --- files -------------------------------------------------------------
 
 // WriteSnapshot atomically writes s as the checkpoint replaying from WAL
@@ -437,20 +682,40 @@ func decodeCol(r *batchReader, n int) (Col, error) {
 // crash anywhere before that last barrier leaves at worst a stray .tmp
 // file and the previous checkpoint intact.
 func WriteSnapshot(fs fsys.FS, dir string, seg int, s *Snapshot) error {
+	return WriteSnapshotVersion(fs, dir, seg, s, SnapV2)
+}
+
+// WriteSnapshotVersion is WriteSnapshot pinned to a specific format
+// version. SnapV1 cannot represent compressed runs (Run.Comp) and exists
+// for back-compat tests and downgrade tooling.
+func WriteSnapshotVersion(fs fsys.FS, dir string, seg int, s *Snapshot, version int) error {
+	magic := snapMagicV2
+	if version == SnapV1 {
+		magic = snapMagicV1
+		for mi := range s.Measurements {
+			for si := range s.Measurements[mi].Series {
+				for ri := range s.Measurements[mi].Series[si].Runs {
+					if s.Measurements[mi].Series[si].Runs[ri].Comp != nil {
+						return errors.New("durable: v1 checkpoints cannot hold compressed runs")
+					}
+				}
+			}
+		}
+	}
 	if fs == nil {
 		fs = fsys.OS{}
 	}
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	payload := appendSnapshot(nil, s)
+	payload := appendSnapshot(nil, s, version)
 	final := filepath.Join(dir, snapshotName(seg))
 	tmp := final + ".tmp"
 	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	_, err = f.Write([]byte(snapMagic))
+	_, err = f.Write([]byte(magic))
 	if err == nil {
 		_, err = f.Write(payload)
 	}
@@ -520,14 +785,26 @@ func LoadLatestSnapshot(fs fsys.FS, dir string) (*Snapshot, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		if len(data) < len(snapMagicV2)+4 {
 			continue
 		}
-		payload := data[len(snapMagic) : len(data)-4]
+		// Both formats stay readable: a store upgraded across the V2
+		// cut recovers its existing V1 checkpoint and writes V2 from the
+		// next checkpoint on.
+		version := 0
+		switch string(data[:len(snapMagicV2)]) {
+		case snapMagicV1:
+			version = SnapV1
+		case snapMagicV2:
+			version = SnapV2
+		default:
+			continue
+		}
+		payload := data[len(snapMagicV2) : len(data)-4]
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
 			continue
 		}
-		s, err := decodeSnapshot(payload)
+		s, err := decodeSnapshot(payload, version)
 		if err != nil {
 			continue
 		}

@@ -116,6 +116,32 @@ func newMetrics(s *Store) *Metrics {
 				emit(obs.L("db", db.Name()), float64(len(db.qsem)))
 			}
 		})
+	reg.NewFunc("lms_db_resident_bytes", "Estimated resident column bytes per database, split by run state (building = each series' newest raw run, the append target; sealed = older raw runs; compressed = chunk-encoded runs, DESIGN.md §13).", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				cs := db.compressionStats()
+				emit(obs.L("db", db.Name(), "state", "building"), float64(cs.buildingBytes))
+				emit(obs.L("db", db.Name(), "state", "sealed"), float64(cs.sealedBytes))
+				emit(obs.L("db", db.Name(), "state", "compressed"), float64(cs.compressedBytes))
+			}
+		})
+	reg.NewFunc("lms_db_compressed_chunks", "Compressed column chunks resident per database (one timestamp chunk plus one per column of every compressed run).", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				emit(obs.L("db", db.Name()), float64(db.compressionStats().chunks))
+			}
+		})
+	reg.NewFunc("lms_db_compression_ratio", "Sealed-size over compressed-size ratio of the compressed runs (0 when nothing is compressed yet).", "gauge",
+		func(emit func(string, float64)) {
+			for _, db := range s.snapshotDBs() {
+				cs := db.compressionStats()
+				v := 0.0
+				if cs.compressedBytes > 0 {
+					v = float64(cs.rawOfCompressed) / float64(cs.compressedBytes)
+				}
+				emit(obs.L("db", db.Name()), v)
+			}
+		})
 	reg.NewFunc("lms_db_wal_sealed", "1 when the database's WAL sealed itself after a write/fsync failure and refuses appends (the seal reason is logged once).", "gauge",
 		func(emit func(string, float64)) {
 			for _, db := range s.snapshotDBs() {
@@ -171,6 +197,48 @@ func (db *DB) observeFsync(d time.Duration) {
 	if m := db.metrics.Load(); m != nil {
 		m.WALFsync.Observe(d.Seconds())
 	}
+}
+
+// compStats is one scrape-time sweep of the run states (DESIGN.md §13):
+// estimated resident bytes per state, the compressed chunk count, and the
+// pre-compression size of the compressed runs (for the ratio gauge).
+type compStats struct {
+	buildingBytes   int64
+	sealedBytes     int64
+	compressedBytes int64
+	rawOfCompressed int64
+	chunks          int
+}
+
+// compressionStats sweeps every shard under its read lock and sizes the
+// resident runs by state. The newest raw run of each series is the
+// append target ("building"); older raw runs are "sealed"; runs holding a
+// compRun are "compressed".
+func (db *DB) compressionStats() compStats {
+	var cs compStats
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, m := range sh.measurements {
+			for _, sr := range m.series {
+				for i, run := range sr.runs {
+					if c := run.comp; c != nil {
+						cs.compressedBytes += c.sizeBytes()
+						cs.rawOfCompressed += c.rawBytes
+						cs.chunks += 1 + len(c.cols)
+						continue
+					}
+					b := rawRunBytes(run.ts, run.cols)
+					if i == len(sr.runs)-1 {
+						cs.buildingBytes += b
+					} else {
+						cs.sealedBytes += b
+					}
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return cs
 }
 
 // shardPointCounts returns the resident point count of every lock shard.

@@ -224,6 +224,7 @@ func (db *DB) Abort() {
 		return
 	}
 	db.stopRetention()
+	db.stopCompressor()
 	if db.dur != nil {
 		db.dur.wal.Abort()
 	}
@@ -234,6 +235,7 @@ func (db *DB) closeInternal(checkpoint bool) error {
 		return nil
 	}
 	db.stopRetention()
+	db.stopCompressor()
 	if db.dur == nil {
 		return nil
 	}
@@ -345,6 +347,29 @@ func (db *DB) buildSnapshot() *durable.Snapshot {
 				sr := m.series[k]
 				ds := durable.Series{Tags: sr.tags}
 				for _, run := range sr.runs {
+					if c := run.comp; c != nil {
+						// Compressed runs pass their chunks through to the
+						// checkpoint verbatim: no re-encode on write, no
+						// decode on recovery (DESIGN.md §13).
+						dc := &durable.CompRun{
+							N: c.n, MinTS: c.minTS, MaxTS: c.maxTS,
+							RawBytes: c.rawBytes, Ts: c.ts,
+						}
+						for ci := range c.cols {
+							cc := &c.cols[ci]
+							dc.Cols = append(dc.Cols, durable.CompCol{
+								Name:    cc.name,
+								Kind:    cc.kind,
+								Mixed:   cc.mixed,
+								Width:   cc.width,
+								Present: cc.present,
+								Data:    cc.data,
+								Vals:    cc.vals,
+							})
+						}
+						ds.Runs = append(ds.Runs, durable.Run{Comp: dc})
+						continue
+					}
 					dr := durable.Run{Ts: run.ts}
 					for ci := range run.cols {
 						c := &run.cols[ci]
@@ -378,6 +403,10 @@ func (db *DB) buildSnapshot() *durable.Snapshot {
 // writer can see it).
 func (db *DB) loadSnapshot(snap *durable.Snapshot) {
 	newest := int64(minInt64)
+	// Recovered runs are "fresh" for the background compressor: they only
+	// become compression candidates once they sit idle for the configured
+	// window after the restart.
+	loadNS := time.Now().UnixNano()
 	for mi := range snap.Measurements {
 		dm := &snap.Measurements[mi]
 		m := &measurement{
@@ -405,7 +434,39 @@ func (db *DB) loadSnapshot(snap *durable.Snapshot) {
 			}
 			for ri := range ds.Runs {
 				dr := &ds.Runs[ri]
-				run := &colRun{ts: dr.Ts}
+				if dc := dr.Comp; dc != nil {
+					// Compressed frame: adopt the chunks as-is — no decode
+					// pass on the recovery path.
+					run := &colRun{modNS: loadNS, comp: &compRun{
+						n: dc.N, minTS: dc.MinTS, maxTS: dc.MaxTS,
+						rawBytes: dc.RawBytes, ts: dc.Ts,
+					}}
+					for ci := range dc.Cols {
+						cc := &dc.Cols[ci]
+						name := cc.Name
+						if canon, ok := m.names[name]; ok {
+							name = canon
+						} else {
+							m.names[name] = name
+							m.fields[name] = cc.Kind
+						}
+						run.comp.cols = append(run.comp.cols, compCol{
+							name:    name,
+							kind:    cc.Kind,
+							mixed:   cc.Mixed,
+							width:   cc.Width,
+							present: cc.Present,
+							data:    cc.Data,
+							vals:    cc.Vals,
+						})
+					}
+					sr.runs = append(sr.runs, run)
+					if dc.MaxTS > newest {
+						newest = dc.MaxTS
+					}
+					continue
+				}
+				run := &colRun{ts: dr.Ts, modNS: loadNS}
 				for ci := range dr.Cols {
 					dc := &dr.Cols[ci]
 					name := dc.Name
@@ -449,6 +510,9 @@ type StoreOptions struct {
 	// same name (0 = GOMAXPROCS each).
 	ShardsPerDB       int
 	QueryWorkersPerDB int
+	// CompressAfter mirrors Store.CompressAfter: sealed runs idle this
+	// long are background-compressed (0 = never).
+	CompressAfter time.Duration
 	// Durability enables the durable storage engine when Dir is set.
 	Durability Durability
 }
@@ -464,6 +528,7 @@ func OpenStore(o StoreOptions) (*Store, error) {
 	s := NewStore()
 	s.ShardsPerDB = o.ShardsPerDB
 	s.QueryWorkersPerDB = o.QueryWorkersPerDB
+	s.CompressAfter = o.CompressAfter
 	if o.Durability.Dir == "" {
 		return s, nil
 	}
@@ -551,6 +616,9 @@ func (s *Store) openLocked(name string) (*DB, error) {
 	}
 	if s.QueryWorkersPerDB > 0 {
 		db.SetQueryWorkers(s.QueryWorkersPerDB)
+	}
+	if s.CompressAfter > 0 {
+		db.SetCompressAfter(s.CompressAfter)
 	}
 	db.metrics.Store(s.metrics)
 	s.dbs[name] = db

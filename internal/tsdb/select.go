@@ -107,10 +107,14 @@ func (v *colView) lastPresent(lo, hi int) int {
 }
 
 // runSnap is one run's in-range snapshot: the timestamp window plus one
-// colView per requested column (parallel to the query column list).
+// colView per requested column (parallel to the query column list). A
+// compressed run is snapshotted as its immutable chunk pointer instead
+// (comp != nil, ts/cols empty); phase 2 decodes it into scratch-backed
+// views (materializeSnap, compress.go) before aggregation starts.
 type runSnap struct {
 	ts   []int64
 	cols []colView
+	comp *compRun
 }
 
 // seriesRun is one matching series' snapshotted run.
@@ -125,6 +129,16 @@ type seriesRun struct {
 type selectGroup struct {
 	tags map[string]string
 	runs []runSnap
+}
+
+// hasComp reports whether any snapshotted run still needs decoding.
+func (g *selectGroup) hasComp() bool {
+	for i := range g.runs {
+		if g.runs[i].comp != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshotSelect is phase 1: resolve the column set and snapshot the
@@ -168,6 +182,18 @@ func (db *DB) snapshotSelect(q Query) ([]string, []string, []*selectGroup, error
 			continue
 		}
 		for _, run := range sr.runs {
+			if c := run.comp; c != nil {
+				// Compressed run: the chunk header carries the time
+				// bounds, the chunk itself is immutable — snapshotting is
+				// one pointer. The precise range cut (and the discovery
+				// that a bounds-overlapping run holds no row in range)
+				// happens at decode time in phase 2.
+				if c.minTS > endNS || c.maxTS < startNS {
+					continue
+				}
+				runs = append(runs, seriesRun{key: key, tags: sr.tags, snap: runSnap{comp: c}})
+				continue
+			}
 			lo := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] >= startNS })
 			hi := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] > endNS })
 			if lo >= hi {
@@ -245,7 +271,40 @@ func (db *DB) executeGroups(ctx context.Context, q Query, cols, strs []string, g
 		return nil, nil
 	}
 	out := make([]Series, len(groups))
-	run := func(i int) { out[i] = executeGroup(q, cols, strs, groups[i]) }
+	// drop[i] marks a group whose runs all decoded to zero in-range rows:
+	// phase 1 admitted its compressed runs on chunk time bounds alone, but
+	// the raw path would never have snapshotted (or grouped) them, so the
+	// group must not surface. The filter below keeps slot order, so the
+	// output stays deterministic.
+	drop := make([]bool, len(groups))
+	run := func(i int) {
+		g := groups[i]
+		if g.hasComp() {
+			// Decode compressed runs into a pooled per-worker scratch
+			// arena. The arena is recycled only after executeGroup is done
+			// with the views; the emitted Series copies every value out,
+			// so nothing aliases the arena afterwards.
+			a := arenaPool.Get().(*decodeArena)
+			a.reset()
+			if materializeGroup(g, q, cols, len(strs), a) {
+				out[i] = executeGroup(q, cols, strs, g)
+			} else {
+				drop[i] = true
+			}
+			arenaPool.Put(a)
+			return
+		}
+		out[i] = executeGroup(q, cols, strs, g)
+	}
+	filter := func() []Series {
+		kept := out[:0]
+		for i := range out {
+			if !drop[i] {
+				kept = append(kept, out[i])
+			}
+		}
+		return kept
+	}
 	if len(groups) == 1 || db.queryWorkers <= 1 {
 		for i := range groups {
 			if err := ctx.Err(); err != nil {
@@ -253,7 +312,7 @@ func (db *DB) executeGroups(ctx context.Context, q Query, cols, strs []string, g
 			}
 			run(i)
 		}
-		return out, nil
+		return filter(), nil
 	}
 	// Bounded fan-out: a group runs on a pool slot when one is free and
 	// inline otherwise, so a query never queues behind itself and the
@@ -285,7 +344,7 @@ func (db *DB) executeGroups(ctx context.Context, q Query, cols, strs []string, g
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return filter(), nil
 }
 
 // executeGroup renders one result series from its snapshot runs.

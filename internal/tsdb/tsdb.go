@@ -96,6 +96,12 @@ type Store struct {
 	// before the store starts serving traffic.
 	QueryWorkersPerDB int
 
+	// CompressAfter enables background chunk compression (DESIGN.md §13)
+	// on databases opened through the store: sealed runs idle for this
+	// long are re-encoded into Gorilla-style compressed chunks. 0 keeps
+	// runs sealed forever. Set it before the store starts serving traffic.
+	CompressAfter time.Duration
+
 	// durOpts enables the durable storage engine (persist.go, DESIGN.md
 	// §9) when its Dir is non-empty; dirLock holds the flock on the data
 	// directory. Both set through OpenStore.
@@ -135,6 +141,9 @@ func (s *Store) CreateDatabase(name string) *DB {
 		db = NewDBShards(name, s.ShardsPerDB)
 		if s.QueryWorkersPerDB > 0 {
 			db.SetQueryWorkers(s.QueryWorkersPerDB)
+		}
+		if s.CompressAfter > 0 {
+			db.SetCompressAfter(s.CompressAfter)
 		}
 		db.metrics.Store(s.metrics)
 	}
@@ -215,6 +224,13 @@ type DB struct {
 	// channel, nil when no ticker runs.
 	retMu   sync.Mutex
 	retStop chan struct{}
+
+	// Background compression ticker (SetCompressAfter, compress.go):
+	// sealed runs idle past compressAfter are re-encoded into compressed
+	// chunks. Same lifecycle shape as the retention ticker.
+	compressAfter atomic.Int64 // nanoseconds; 0 = never compress
+	compMu        sync.Mutex
+	compStop      chan struct{}
 
 	// Read path (select.go, cache.go). queryWorkers bounds the phase-2
 	// fan-out of Select; qsem is the shared slot pool sized to it.
@@ -386,6 +402,146 @@ func (db *DB) pruneTick() {
 	db.pruneNow(anchor - ret)
 }
 
+// SetCompressAfter configures the compressed run state (DESIGN.md §13):
+// a background ticker re-encodes sealed runs that have gone d without a
+// mutation into Gorilla-style compressed chunks (compress.go), cutting
+// their resident footprint several-fold while queries stay
+// byte-identical. Zero disables the compactor and stops the ticker;
+// already-compressed runs stay compressed.
+func (db *DB) SetCompressAfter(d time.Duration) {
+	db.compressAfter.Store(int64(d))
+	db.compMu.Lock()
+	defer db.compMu.Unlock()
+	if db.compStop != nil {
+		close(db.compStop)
+		db.compStop = nil
+	}
+	if d <= 0 || db.closed.Load() {
+		return
+	}
+	// Tick at half the idle window so a run is compressed within ~1.5x d
+	// of going cold, bounded the same way the retention ticker is.
+	period := d / 2
+	if period > time.Second {
+		period = time.Second
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	db.compStop = stop
+	go db.compressLoop(stop, period)
+}
+
+// stopCompressor halts the background compression ticker, if any.
+func (db *DB) stopCompressor() {
+	db.compMu.Lock()
+	defer db.compMu.Unlock()
+	if db.compStop != nil {
+		close(db.compStop)
+		db.compStop = nil
+	}
+}
+
+func (db *DB) compressLoop(stop chan struct{}, period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			d := db.compressAfter.Load()
+			if d <= 0 {
+				return
+			}
+			db.compressNow(time.Now().UnixNano()-d, true)
+		}
+	}
+}
+
+// Compress immediately compresses every run, including each series'
+// building run, regardless of idle time. Exported for tooling, benchmarks
+// and tests ("freeze the resident set now"); production databases
+// compress in the background via SetCompressAfter, which only takes
+// sealed runs. It returns the number of runs compressed.
+func (db *DB) Compress() int { return db.compressNow(maxInt64, false) }
+
+// compCandidate is one sealed run captured for out-of-lock encoding: the
+// slice headers are a consistent snapshot (taken under the shard RLock),
+// gen detects mutations between capture and commit.
+type compCandidate struct {
+	m    *measurement
+	sr   *series
+	run  *colRun
+	gen  uint64
+	ts   []int64
+	cols []col
+}
+
+// compressNow re-encodes runs whose last mutation is <= cutoffNS. With
+// sealedOnly (the background compactor), each series' newest run — the
+// building run, where in-order appends and same-timestamp rewrites land —
+// is left raw so the write path's run layout is unchanged by when the
+// compactor happens to fire. Encoding runs outside any lock against
+// captured slice headers (the same immutability contract Select's phase 1
+// relies on); each result is then committed under a short write lock only
+// if the run is still published and unmutated — a stale encode is simply
+// dropped.
+func (db *DB) compressNow(cutoffNS int64, sealedOnly bool) int {
+	total := 0
+	for _, sh := range db.shards {
+		var cands []compCandidate
+		sh.mu.RLock()
+		for _, m := range sh.measurements {
+			for _, sr := range m.series {
+				for i, run := range sr.runs {
+					if sealedOnly && i == len(sr.runs)-1 {
+						continue
+					}
+					if run.comp != nil || len(run.ts) == 0 || run.modNS > cutoffNS {
+						continue
+					}
+					cands = append(cands, compCandidate{
+						m: m, sr: sr, run: run, gen: run.gen,
+						ts:   run.ts,
+						cols: append([]col(nil), run.cols...),
+					})
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		for i := range cands {
+			c := &cands[i]
+			comp := compressColumns(c.ts, c.cols)
+			sh.mu.Lock()
+			if c.run.gen == c.gen && c.run.comp == nil && runPublished(c.m, c.sr, c.run) {
+				c.run.comp = comp
+				c.run.ts = nil
+				c.run.cols = nil
+				total++
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return total
+}
+
+// runPublished reports whether run is still an element of sr.runs and sr
+// is still the series the measurement maps to (compaction, pruning and
+// retention may have replaced either while the encoder ran).
+func runPublished(m *measurement, sr *series, run *colRun) bool {
+	if got, ok := m.series[seriesKey(sr.tags)]; !ok || got != sr {
+		return false
+	}
+	for _, r := range sr.runs {
+		if r == run {
+			return true
+		}
+	}
+	return false
+}
+
 type measurement struct {
 	name   string
 	series map[string]*series
@@ -434,7 +590,7 @@ type series struct {
 func (sr *series) totalPoints() int {
 	n := 0
 	for _, run := range sr.runs {
-		n += len(run.ts)
+		n += run.rows()
 	}
 	return n
 }
@@ -599,6 +755,7 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 		curKey   string
 		prevTags map[string]string
 	)
+	nowNS := now.UnixNano()
 	b := &sh.bld
 	b.reset()
 	commit := func() {
@@ -608,7 +765,23 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 		b.finish()
 		if n := len(curS.runs); n > 0 {
 			last := curS.runs[n-1]
-			if m := len(last.ts); m > 0 {
+			if c := last.comp; c != nil {
+				// A compressed run is immutable. The one mutation worth
+				// paying a decode for is the exact same-timestamp rewrite
+				// (the dashboard upsert pattern): decompress, merge
+				// last-write-wins, recompress, swap the chunk pointer.
+				// Anything else opens a new run next to it.
+				if len(b.ts) == c.n && b.ts[0] == c.minTS && b.ts[len(b.ts)-1] == c.maxTS {
+					if raw, err := c.decompress(len(curM.strs.vals)); err == nil && b.tsEqual(raw.ts) {
+						raw.rewriteBlock(b, curM)
+						last.comp = compressRun(raw)
+						last.gen++
+						last.modNS = nowNS
+						b.reset()
+						return
+					}
+				}
+			} else if m := len(last.ts); m > 0 {
 				// The exact-match check precedes the in-order check: a
 				// run whose timestamps are all equal (e.g. a single
 				// point) satisfies both, and re-writing it must upsert,
@@ -618,6 +791,8 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 					// copy-on-write instead of opening a run and paying
 					// compaction (EXPERIMENTS.md, experiment O3).
 					last.rewriteBlock(b, curM)
+					last.gen++
+					last.modNS = nowNS
 					b.reset()
 					return
 				}
@@ -625,6 +800,8 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 					// In-order arrival (the hot path): extend the newest
 					// run's columns with one bulk append per field.
 					last.appendBlock(b, curM)
+					last.gen++
+					last.modNS = nowNS
 					b.reset()
 					return
 				}
@@ -632,12 +809,26 @@ func (sh *shard) writeBatch(db *DB, pts []lineproto.Point, now time.Time) {
 		}
 		// Out-of-order arrival: the builder's arrays become a new run, then
 		// runs of similar size are compacted so the run count stays
-		// logarithmic. Merging allocates fresh columns, so readers holding
-		// snapshots of the old runs are unaffected.
-		curS.runs = append(curS.runs, b.toRun())
+		// logarithmic. Merging allocates fresh columns (decompressing a
+		// compressed operand first), so readers holding snapshots of the
+		// old runs are unaffected.
+		nr := b.toRun()
+		nr.modNS = nowNS
+		curS.runs = append(curS.runs, nr)
 		b.handoff()
-		for n := len(curS.runs); n >= 2 && len(curS.runs[n-2].ts) <= 2*len(curS.runs[n-1].ts); n = len(curS.runs) {
-			merged := mergeRuns(curM, curS.runs[n-2], curS.runs[n-1])
+		for n := len(curS.runs); n >= 2 && curS.runs[n-2].rows() <= 2*curS.runs[n-1].rows(); n = len(curS.runs) {
+			ra, err := curS.runs[n-2].rawRun(len(curM.strs.vals))
+			if err != nil {
+				noteDecodeError(err)
+				break
+			}
+			rb, err := curS.runs[n-1].rawRun(len(curM.strs.vals))
+			if err != nil {
+				noteDecodeError(err)
+				break
+			}
+			merged := mergeRuns(curM, ra, rb)
+			merged.modNS = nowNS
 			curS.runs = append(curS.runs[:n-2], merged)
 		}
 	}
@@ -740,11 +931,36 @@ func (db *DB) pruneNow(beforeNS int64) {
 // was removed.
 func (sh *shard) pruneLocked(beforeNS int64) bool {
 	anyDropped := false
+	nowNS := time.Now().UnixNano()
 	for mname, m := range sh.measurements {
 		for key, sr := range m.series {
 			changed := false
 			kept := sr.runs[:0:0]
 			for _, run := range sr.runs {
+				if c := run.comp; c != nil {
+					// Whole-run decisions come from the chunk header; only
+					// a partially expired run pays a decode (and is left
+					// sealed — the compressor re-compresses it later).
+					switch {
+					case c.minTS >= beforeNS:
+						kept = append(kept, run)
+					case c.maxTS < beforeNS:
+						changed = true
+					default:
+						raw, err := c.decompress(len(m.strs.vals))
+						if err != nil {
+							noteDecodeError(err)
+							kept = append(kept, run) // keep data over dropping it
+							continue
+						}
+						idx := sort.Search(len(raw.ts), func(i int) bool { return raw.ts[i] >= beforeNS })
+						nr := raw.sliceRun(idx, len(raw.ts))
+						nr.modNS = nowNS
+						kept = append(kept, nr)
+						changed = true
+					}
+					continue
+				}
 				idx := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] >= beforeNS })
 				switch {
 				case idx == 0:
@@ -754,7 +970,9 @@ func (sh *shard) pruneLocked(beforeNS int64) bool {
 				default:
 					// Copy the survivors: readers may still hold snapshots
 					// of the old backing arrays.
-					kept = append(kept, run.sliceRun(idx, len(run.ts)))
+					nr := run.sliceRun(idx, len(run.ts))
+					nr.modNS = nowNS
+					kept = append(kept, nr)
 					changed = true
 				}
 			}
