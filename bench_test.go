@@ -30,6 +30,7 @@ import (
 	"repro/internal/hpm"
 	"repro/internal/jobsched"
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/router"
 	"repro/internal/stream"
@@ -1387,5 +1388,47 @@ func BenchmarkE6_ScatterGatherQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- T1: tracing-off overhead guard (DESIGN.md §14) ------------------------
+
+// BenchmarkT1_TracingOff is the CI guard for the tracing layer's
+// zero-cost-when-off claim. Part one asserts the claim outright: the
+// complete per-request machinery a disabled ring adds to the hot paths —
+// StartTrace on a nil ring, TraceFrom on a context carrying no trace, and
+// spans started on the resulting nil trace — must allocate nothing, so the
+// disabled-tracing query path costs 0 extra bytes/op over the pre-tracing
+// engine. Part two benchmarks the same cached panel refresh as Q3 through
+// SelectContext with tracing off; against BENCH_pr9.json's Q3 the B/op
+// must not move, and BENCH_pr10.json records it for future diffs.
+func BenchmarkT1_TracingOff(b *testing.B) {
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		var ring *obs.TraceRing
+		tr := ring.StartTrace("bench", "")
+		sp := tr.Start("phase").Attr("k", "v").AttrInt("n", 1)
+		sp.End()
+		obs.TraceFrom(ctx).Finish()
+		tr.Finish()
+	}); allocs != 0 {
+		b.Fatalf("disabled tracing allocates: %v allocs/op", allocs)
+	}
+
+	db := seedQueryDB(b, 8)
+	db.SetQueryCacheTTL(time.Hour)
+	if _, err := db.SelectContext(ctx, windowQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SelectContext(ctx, windowQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if hits, _ := db.QueryCacheStats(); b.N > 1 && hits == 0 {
+		b.Fatal("cache never hit")
 	}
 }

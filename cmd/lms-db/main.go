@@ -6,7 +6,13 @@
 // Ingest is bounded: -max-body-mb refuses oversized /write bodies with
 // 413, and -max-inflight-reqs / -max-inflight-mb shed excess concurrent
 // load with 429 + Retry-After. -slow-query logs queries above a latency
-// threshold.
+// threshold (the line carries the request's trace id).
+//
+// Observability (DESIGN.md §14): every /write and /query is traced into a
+// bounded in-memory ring served on GET /debug/traces (-traces sets the
+// capacity, 0 disables); -debug-addr starts a separate listener with the
+// net/http/pprof endpoints and the same /debug/traces; -log-level selects
+// the process log verbosity (debug, info, warn, error, off).
 //
 // The store is shard-partitioned per database for multi-core ingest; the
 // -shards flag overrides the lock-shard count (default: GOMAXPROCS).
@@ -48,6 +54,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 	"repro/internal/tsdb/durable"
 )
@@ -72,6 +79,9 @@ func run(args []string, stdout io.Writer) error {
 	clusterPeers := fs.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node)")
 	nodeID := fs.String("node-id", "", "this node's own entry in -cluster-peers")
 	replication := fs.Int("replication", 0, "replicas per (db, measurement) in cluster mode (0 = 2)")
+	debugAddr := fs.String("debug-addr", "", "separate listener for net/http/pprof and /debug/traces (empty = off)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error or off")
+	traceBuf := fs.Int("traces", 256, "completed traces kept for /debug/traces (0 = tracing off)")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
@@ -83,6 +93,11 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return cli.UsageErr(fs, "%v", err)
 	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return cli.UsageErr(fs, "%v", err)
+	}
+	obs.SetLogLevel(level)
 
 	store, err := tsdb.OpenStore(tsdb.StoreOptions{
 		ShardsPerDB:   *shards,
@@ -105,6 +120,11 @@ func run(args []string, stdout io.Writer) error {
 		for _, name := range store.Databases() {
 			store.DB(name).SetRetention(*retention)
 		}
+	}
+	var ring *obs.TraceRing
+	if *traceBuf > 0 {
+		ring = obs.NewTraceRing(*traceBuf)
+		store.SetTraces(ring)
 	}
 	handler := tsdb.NewHandler(store)
 	handler.SlowQueryThreshold = *slowQuery
@@ -133,6 +153,19 @@ func run(args []string, stdout io.Writer) error {
 		_ = store.Close()
 		return err
 	}
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			if clu != nil {
+				_ = clu.Close()
+			}
+			_ = store.Close()
+			return err
+		}
+		go func() { _ = http.Serve(debugLn, obs.DebugMux(ring)) }()
+		fmt.Fprintf(stdout, "lms-db: pprof and /debug/traces on %s\n", debugLn.Addr())
+	}
 	fmt.Fprintf(stdout, "lms-db: serving database %q (%d shards) on %s\n",
 		*dbName, db.ShardCount(), ln.Addr())
 	if clu != nil {
@@ -155,6 +188,9 @@ func run(args []string, stdout io.Writer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	closeCluster := func() {
+		if debugLn != nil {
+			_ = debugLn.Close()
+		}
 		if clu != nil {
 			_ = clu.Close()
 		}

@@ -13,6 +13,12 @@
 // and -max-inflight-reqs / -max-inflight-mb (429 + Retry-After on
 // overload).
 //
+// Observability (DESIGN.md §14): each /write starts a distributed trace
+// whose id fans out to the lms-db replicas via X-Lms-Trace; the completed
+// traces are served on GET /debug/traces (-traces sets the ring capacity,
+// 0 disables). -debug-addr starts a separate listener with net/http/pprof
+// plus the same /debug/traces; -log-level selects the log verbosity.
+//
 // With -cluster-peers the router forwards ring-aware (DESIGN.md §12):
 // each batch is split by the consistent-hash ring over (db, measurement),
 // fanned to the -replication owning lms-db replicas, and acknowledged at
@@ -39,6 +45,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/router"
 	"repro/internal/tsdb"
@@ -61,15 +68,26 @@ func run(args []string, stdout io.Writer) error {
 	replication := fs.Int("replication", 0, "replicas per (db, measurement) in cluster mode (0 = 2)")
 	writeQuorum := fs.Int("write-quorum", 0, "replica acks required before a write acknowledges (0 = 1)")
 	hintsDir := fs.String("hints-dir", "", "durable hinted-handoff directory in cluster mode (empty = hints in memory only)")
+	debugAddr := fs.String("debug-addr", "", "separate listener for net/http/pprof and /debug/traces (empty = off)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error or off")
+	traceBuf := fs.Int("traces", 256, "completed traces kept for /debug/traces (0 = tracing off)")
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 	peers := cli.SplitList(*clusterPeers)
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return cli.UsageErr(fs, "%v", err)
+	}
+	obs.SetLogLevel(level)
 
 	cfg := router.Config{
 		MaxBodyBytes:        *maxBodyMB << 20,
 		MaxInFlightRequests: *maxInflightReqs,
 		MaxInFlightBytes:    *maxInflightMB << 20,
+	}
+	if *traceBuf > 0 {
+		cfg.Traces = obs.NewTraceRing(*traceBuf)
 	}
 	var clu *cluster.Cluster
 	if len(peers) > 0 {
@@ -117,6 +135,15 @@ func run(args []string, stdout io.Writer) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		defer debugLn.Close()
+		go func() { _ = http.Serve(debugLn, obs.DebugMux(cfg.Traces)) }()
+		fmt.Fprintf(stdout, "lms-router: pprof and /debug/traces on %s\n", debugLn.Addr())
 	}
 	if clu != nil {
 		fmt.Fprintf(stdout, "lms-router: forwarding to %d-node cluster (db %q, R=%d, W=%d, ring %x) on %s\n",

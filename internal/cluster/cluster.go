@@ -72,7 +72,9 @@ type Config struct {
 	// transport, whose MaxConnsPerHost bounds the fan-out socket load.
 	HTTPClient *http.Client
 
-	// Logf receives cluster log lines; nil discards them.
+	// Logf receives cluster log lines; nil selects the process-wide
+	// leveled logger (obs.Warnf) — cluster lines are all degradation
+	// reports (stalled drains, dropped hints), warnings by nature.
 	Logf func(format string, args ...interface{})
 }
 
@@ -197,7 +199,9 @@ func (c *Cluster) WriteQuorum() int { return c.cfg.WriteQuorum }
 func (c *Cluster) logf(format string, args ...interface{}) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
+		return
 	}
+	obs.Warnf(format, args...)
 }
 
 // clientFor returns a write/query client for a peer bound to db. The

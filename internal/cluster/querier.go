@@ -17,8 +17,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -50,6 +52,8 @@ func (q *DistributedQuerier) Query(ctx context.Context, req tsdb.Request) (tsdb.
 	}
 	start := time.Now()
 	defer func() { q.c.observeFanout(time.Since(start)) }()
+	sp := obs.TraceFrom(ctx).Start("cluster.query").AttrInt("statements", int64(len(stmts)))
+	defer sp.End()
 	var resp tsdb.Response
 	for _, st := range stmts {
 		if err := ctx.Err(); err != nil {
@@ -68,6 +72,8 @@ func (q *DistributedQuerier) execStatement(ctx context.Context, req tsdb.Request
 	switch st.Kind {
 	case tsdb.StmtSelect:
 		return q.execRouted(ctx, req, st)
+	case tsdb.StmtExplainAnalyze:
+		return q.execExplainAnalyze(ctx, req, st)
 	case tsdb.StmtShowFieldKeys, tsdb.StmtShowTagKeys, tsdb.StmtShowTagValues:
 		if st.Query.Measurement != "" {
 			return q.execRouted(ctx, req, st)
@@ -117,25 +123,54 @@ func isNoDatabase(res tsdb.ExecResult) bool {
 	return res.Err == tsdb.ErrNoDatabase.Error()
 }
 
+// routeAttempt records one replica attempt of a routed statement for the
+// EXPLAIN ANALYZE routing profile.
+type routeAttempt struct {
+	node   string
+	durNS  int64
+	status string // "ok", "no-database", or the error text
+}
+
 // execRouted routes a measurement-scoped statement to its owner slice:
 // first healthy owner answers, the rest are failover targets. A replica
 // with queued hints is tried last — it is known to be missing
 // acknowledged writes until handoff drains.
 func (q *DistributedQuerier) execRouted(ctx context.Context, req tsdb.Request, st tsdb.Statement) (tsdb.ExecResult, error) {
+	res, _, err := q.execRoutedProf(ctx, req, st)
+	return res, err
+}
+
+// execRoutedProf is execRouted keeping the per-attempt routing profile:
+// which replicas were tried, how long each took, and how each answered.
+// The last attempt of a successful route is the chosen replica.
+func (q *DistributedQuerier) execRoutedProf(ctx context.Context, req tsdb.Request, st tsdb.Statement) (tsdb.ExecResult, []routeAttempt, error) {
 	owners := q.c.owners(req.Database, st.Query.Measurement)
 	if len(owners) == 0 {
-		return tsdb.ExecResult{}, fmt.Errorf("cluster: empty ring")
+		return tsdb.ExecResult{}, nil, fmt.Errorf("cluster: empty ring")
 	}
+	tr := obs.TraceFrom(ctx)
+	var attempts []routeAttempt
 	var noDB *tsdb.ExecResult
 	var lastErr error
 	for i, id := range q.c.readOrder(owners) {
 		if err := ctx.Err(); err != nil {
-			return tsdb.ExecResult{}, err
+			return tsdb.ExecResult{}, attempts, err
 		}
 		if i > 0 {
 			q.c.readFailovers.Add(1)
 		}
+		sp := tr.Start("cluster.query.node").Attr("peer", id)
+		t0 := time.Now()
 		res, err := q.queryNode(ctx, id, req, st)
+		at := routeAttempt{node: id, durNS: int64(time.Since(t0)), status: "ok"}
+		if err != nil {
+			at.status = err.Error()
+			sp.Attr("error", err.Error())
+		} else if isNoDatabase(res) {
+			at.status = "no-database"
+		}
+		sp.End()
+		attempts = append(attempts, at)
 		if err != nil {
 			lastErr = err
 			continue
@@ -144,14 +179,49 @@ func (q *DistributedQuerier) execRouted(ctx context.Context, req tsdb.Request, s
 			noDB = &res
 			continue
 		}
-		return res, nil
+		return res, attempts, nil
 	}
 	if noDB != nil {
 		// Every reachable replica lacks the database: same answer a single
 		// node would give.
-		return *noDB, nil
+		return *noDB, attempts, nil
 	}
-	return tsdb.ExecResult{}, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), lastErr)
+	return tsdb.ExecResult{}, attempts, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), lastErr)
+}
+
+// execExplainAnalyze routes EXPLAIN ANALYZE exactly like the SELECT it
+// wraps — the chosen replica executes it and returns the SELECT's series
+// plus its storage-side profile — and appends the coordinator's routing
+// profile as one more series: the chosen replica and every attempt's
+// timing (DESIGN.md §14).
+func (q *DistributedQuerier) execExplainAnalyze(ctx context.Context, req tsdb.Request, st tsdb.Statement) (tsdb.ExecResult, error) {
+	res, attempts, err := q.execRoutedProf(ctx, req, st)
+	if err != nil {
+		return tsdb.ExecResult{}, err
+	}
+	s := tsdb.ResultSeries{
+		Name:    tsdb.ExplainClusterSeriesName,
+		Columns: []string{"metric", "value"},
+	}
+	chosen := ""
+	if n := len(attempts); n > 0 && attempts[n-1].status == "ok" {
+		chosen = attempts[n-1].node
+	}
+	s.Values = append(s.Values,
+		[]interface{}{"replication", q.c.cfg.Replication},
+		[]interface{}{"chosen_replica", chosen},
+		[]interface{}{"attempts", len(attempts)},
+	)
+	for i, at := range attempts {
+		p := "attempt_" + strconv.Itoa(i+1)
+		s.Values = append(s.Values,
+			[]interface{}{p + "_node", at.node},
+			[]interface{}{p + "_ns", at.durNS},
+			[]interface{}{p + "_status", at.status},
+		)
+	}
+	res.Series = append(res.Series, s)
+	return res, nil
 }
 
 // fanResults runs one statement on every cluster member concurrently.

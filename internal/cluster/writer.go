@@ -9,12 +9,14 @@ package cluster
 // availability and no acknowledged data.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/tsdb"
 )
@@ -37,7 +39,14 @@ func (c *Cluster) SinkFor(db string) router.Sink {
 
 // WritePoints implements router.Sink.
 func (s dbSink) WritePoints(pts []lineproto.Point) error {
-	return s.c.writeDB(s.db, pts)
+	return s.c.writeDB(context.Background(), s.db, pts)
+}
+
+// WritePointsContext is the traced form: a trace riding the context gets
+// per-owner fan-out spans, and the trace id crosses to each replica via
+// X-Lms-Trace. The router's ingest path prefers this interface.
+func (s dbSink) WritePointsContext(ctx context.Context, pts []lineproto.Point) error {
+	return s.c.writeDB(ctx, s.db, pts)
 }
 
 // writeDB replicates one batch into db. It returns nil iff every owner
@@ -45,10 +54,13 @@ func (s dbSink) WritePoints(pts []lineproto.Point) error {
 // (the router) counts the batch dropped and the upstream client retries —
 // replay is safe because same-timestamp rewrites are last-write-wins
 // upserts.
-func (c *Cluster) writeDB(db string, pts []lineproto.Point) error {
+func (c *Cluster) writeDB(ctx context.Context, db string, pts []lineproto.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
+	tr := obs.TraceFrom(ctx)
+	wsp := tr.Start("cluster.write").Attr("db", db).AttrInt("points", int64(len(pts)))
+	defer wsp.End()
 	c.ensureDatabase(db)
 
 	// Zero timestamps are resolved here, once, by the coordinator: if each
@@ -109,7 +121,12 @@ func (c *Cluster) writeDB(db string, pts []lineproto.Point) error {
 		wg.Add(1)
 		go func(id string, sub []lineproto.Point) {
 			defer wg.Done()
-			err := c.writeNode(id, db, sub)
+			sp := tr.Start("cluster.write.node").Attr("peer", id).AttrInt("points", int64(len(sub)))
+			err := c.writeNode(ctx, id, db, sub)
+			if err != nil {
+				sp.Attr("error", err.Error())
+			}
+			sp.End()
 			mu.Lock()
 			errs[id] = err
 			mu.Unlock()
@@ -152,29 +169,32 @@ func (c *Cluster) writeDB(db string, pts []lineproto.Point) error {
 		if n.hints == nil {
 			continue
 		}
+		hsp := tr.Start("cluster.hint.enqueue").Attr("peer", id).AttrInt("points", int64(len(perNode[id])))
 		if herr := n.hints.enqueue(db, perNode[id], now.UnixNano()); herr != nil {
+			hsp.Attr("error", herr.Error())
 			n.hintDropped.Add(1)
 			c.logf("cluster: dropping hint for %s (%d points): %v", id, len(perNode[id]), herr)
 		} else {
 			c.kickDrain()
 		}
+		hsp.End()
 	}
 	return nil
 }
 
 // writeNode delivers one sub-batch to a single replica, keeping the
 // per-peer counters.
-func (c *Cluster) writeNode(id, db string, pts []lineproto.Point) error {
+func (c *Cluster) writeNode(ctx context.Context, id, db string, pts []lineproto.Point) error {
 	n := c.nodes[id]
 	var err error
 	if n.local != nil {
 		var ldb *tsdb.DB
 		ldb, err = n.local.OpenDatabase(db)
 		if err == nil {
-			err = ldb.WriteBatch(pts)
+			err = ldb.WriteBatchContext(ctx, pts)
 		}
 	} else {
-		err = c.clientFor(id, db).WritePoints(pts)
+		err = c.clientFor(id, db).WritePointsContext(ctx, pts)
 	}
 	if err != nil {
 		n.batchesErr.Add(1)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/dashboard"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/router"
 	"repro/internal/tsdb"
@@ -75,6 +76,12 @@ type StackConfig struct {
 	// HintsDir is the durable hinted-handoff directory (empty = hints in
 	// memory only).
 	HintsDir string
+
+	// TraceBuffer is the capacity of the completed-trace ring (DESIGN.md
+	// §14): the last N traced requests served on /debug/traces of the
+	// store's HTTP handler and the router. 0 disables tracing entirely —
+	// the request paths then pay only nil checks.
+	TraceBuffer int
 }
 
 // Stack is one assembled LMS instance.
@@ -98,7 +105,12 @@ type Stack struct {
 	Cluster *cluster.Cluster
 
 	DBHandler *tsdb.Handler // InfluxDB-compatible HTTP API of the store
-	cfg       StackConfig
+
+	// Traces is the completed-trace ring shared by the router and the
+	// store handler (StackConfig.TraceBuffer); nil when tracing is off.
+	Traces *obs.TraceRing
+
+	cfg StackConfig
 }
 
 // NewStack builds and wires all components.
@@ -164,10 +176,17 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		}
 	}
 
+	var traces *obs.TraceRing
+	if cfg.TraceBuffer > 0 {
+		traces = obs.NewTraceRing(cfg.TraceBuffer)
+		store.SetTraces(traces)
+	}
+
 	rcfg := router.Config{
 		Primary:   router.LocalSink{DB: db},
 		Publisher: pub,
 		Now:       cfg.Now,
+		Traces:    traces,
 	}
 	if clu != nil {
 		rcfg.Primary = clu.SinkFor(cfg.DBName)
@@ -227,6 +246,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Querier:   qr,
 		Cluster:   clu,
 		DBHandler: handler,
+		Traces:    traces,
 		cfg:       cfg,
 	}, nil
 }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want LogLevel
+	}{
+		{"debug", LevelDebug},
+		{"", LevelInfo},
+		{"info", LevelInfo},
+		{"INFO", LevelInfo},
+		{" warn ", LevelWarn},
+		{"warning", LevelWarn},
+		{"error", LevelError},
+		{"off", LevelOff},
+		{"none", LevelOff},
+	}
+	for _, c := range cases {
+		got, err := ParseLogLevel(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseLogLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseLogLevel("verbose"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelWarn)
+	l.Debugf("quiet %d", 1)
+	l.Infof("quiet %d", 2)
+	l.Warnf("loud %d", 3)
+	l.Errorf("loud %d", 4)
+	out := sb.String()
+	if strings.Contains(out, "quiet") {
+		t.Fatalf("suppressed levels leaked: %q", out)
+	}
+	for _, want := range []string{"WARN loud 3\n", "ERROR loud 4\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", lines, out)
+	}
+
+	l.SetLevel(LevelOff)
+	if l.Level() != LevelOff {
+		t.Fatalf("Level() = %v", l.Level())
+	}
+	sb.Reset()
+	l.Errorf("still quiet")
+	if sb.Len() != 0 {
+		t.Fatalf("LevelOff emitted: %q", sb.String())
+	}
+}
+
+func TestLoggerSetOutputAndDefault(t *testing.T) {
+	var sb strings.Builder
+	prev := Log().SetOutput(&sb)
+	defer Log().SetOutput(prev)
+	oldLevel := Log().Level()
+	SetLogLevel(LevelDebug)
+	defer SetLogLevel(oldLevel)
+
+	Debugf("d=%d", 1)
+	Infof("i=%d", 2)
+	Warnf("w=%d", 3)
+	Errorf("e=%d", 4)
+	out := sb.String()
+	for _, want := range []string{"DEBUG d=1", "INFO i=2", "WARN w=3", "ERROR e=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("default logger missing %q: %q", want, out)
+		}
+	}
+	// Every line is timestamped: 2006-01-02T15:04:05.000Z LEVEL msg
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if len(line) < 25 || line[4] != '-' || line[10] != 'T' || line[23] != 'Z' {
+			t.Fatalf("line not timestamped: %q", line)
+		}
+	}
+
+	// SetOutput returns the writer it replaced.
+	var other strings.Builder
+	if got := Log().SetOutput(&other); got != &sb {
+		t.Fatalf("SetOutput returned %v, want the buffer", got)
+	}
+	Log().SetOutput(&sb)
+}

@@ -14,6 +14,7 @@
 package router
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,25 @@ type Sink interface {
 	WritePoints(pts []lineproto.Point) error
 }
 
+// ContextSink is the optional traced form of Sink. A sink implementing it
+// receives the ingest context, so a trace riding it (DESIGN.md §14)
+// reaches the storage engine — and, through the cluster write path or the
+// HTTP client's X-Lms-Trace header, every replica. Plain Sinks keep
+// working untraced; the pipeline type-asserts per flush.
+type ContextSink interface {
+	Sink
+	WritePointsContext(ctx context.Context, pts []lineproto.Point) error
+}
+
+// writeSink flushes one batch through the traced interface when the sink
+// offers it.
+func writeSink(ctx context.Context, s Sink, pts []lineproto.Point) error {
+	if cs, ok := s.(ContextSink); ok {
+		return cs.WritePointsContext(ctx, pts)
+	}
+	return s.WritePoints(pts)
+}
+
 // LocalSink writes directly into an in-process tsdb database through its
 // sharded batch entry point.
 type LocalSink struct{ DB *tsdb.DB }
@@ -44,6 +64,11 @@ type LocalSink struct{ DB *tsdb.DB }
 // WritePoints implements Sink by flushing the batch via DB.WriteBatch.
 func (s LocalSink) WritePoints(pts []lineproto.Point) error {
 	return s.DB.WriteBatch(pts)
+}
+
+// WritePointsContext implements ContextSink.
+func (s LocalSink) WritePointsContext(ctx context.Context, pts []lineproto.Point) error {
+	return s.DB.WriteBatchContext(ctx, pts)
 }
 
 // Config wires a Router.
@@ -70,6 +95,10 @@ type Config struct {
 	// 0 means unlimited for that dimension.
 	MaxInFlightRequests int64
 	MaxInFlightBytes    int64
+	// Traces, when set, records one trace per /write request (continuing
+	// an upstream X-Lms-Trace id) and serves the completed ring on GET
+	// /debug/traces. Nil keeps tracing off at zero cost.
+	Traces *obs.TraceRing
 }
 
 // Router is the LMS metrics router. Create with New, expose with ServeHTTP.
@@ -110,6 +139,7 @@ func New(cfg Config) (*Router, error) {
 	mux.HandleFunc("/write", r.handleWrite)
 	mux.HandleFunc("/ping", r.handlePing)
 	mux.Handle("/metrics", r.reg.Handler())
+	mux.HandleFunc("/debug/traces", r.handleTraces)
 	mux.HandleFunc("/api/job/start", r.handleJobStart)
 	mux.HandleFunc("/api/job/end", r.handleJobEnd)
 	mux.HandleFunc("/api/jobs", r.handleJobs)
@@ -179,6 +209,15 @@ func (r *Router) handlePing(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleTraces serves the router's completed-trace ring (DESIGN.md §14).
+func (r *Router) handleTraces(w http.ResponseWriter, req *http.Request) {
+	if r.cfg.Traces == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	r.cfg.Traces.ServeHTTP(w, req)
+}
+
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -209,7 +248,15 @@ func (r *Router) handleWrite(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "write body exceeds %d bytes", max)
 		return
 	}
-	if err := r.IngestBatch(body); err != nil {
+	// One trace per /write: the root of the distributed write path. The
+	// trace id fans out with the batch (ContextSink → cluster → replicas),
+	// so /debug/traces here shows the whole journey.
+	tr := r.cfg.Traces.StartTrace("router.write", req.Header.Get(obs.TraceHeader))
+	sp := tr.Start("router.http.write").AttrInt("bytes", int64(len(body)))
+	err = r.IngestBatchContext(obs.WithTrace(req.Context(), tr), body)
+	sp.End()
+	tr.Finish()
+	if err != nil {
 		var perr *lineproto.ParseError
 		if errors.As(err, &perr) {
 			httpError(w, http.StatusBadRequest, "%v", err)
@@ -226,11 +273,17 @@ func (r *Router) handleWrite(w http.ResponseWriter, req *http.Request) {
 // in-process producers (collection agents, libusermetric clients) whose
 // flush callback delivers an encoded payload.
 func (r *Router) IngestBatch(payload []byte) error {
+	return r.IngestBatchContext(context.Background(), payload)
+}
+
+// IngestBatchContext is IngestBatch under a caller context (trace
+// propagation into the sinks).
+func (r *Router) IngestBatchContext(ctx context.Context, payload []byte) error {
 	pts, err := lineproto.Parse(payload)
 	if err != nil {
 		return err
 	}
-	return r.Ingest(pts)
+	return r.IngestContext(ctx, pts)
 }
 
 // Ingest runs the router pipeline on a batch of points: timestamping,
@@ -239,9 +292,16 @@ func (r *Router) IngestBatch(payload []byte) error {
 // database and each accumulated batch is flushed with a single sink write,
 // which the local sink hands to the store's sharded DB.WriteBatch.
 func (r *Router) Ingest(pts []lineproto.Point) error {
+	return r.IngestContext(context.Background(), pts)
+}
+
+// IngestContext is Ingest under a caller context: a trace riding it gets
+// enrich/forward spans, and context-aware sinks carry it onward.
+func (r *Router) IngestContext(ctx context.Context, pts []lineproto.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
+	tr := obs.TraceFrom(ctx)
 	r.received.Add(int64(len(pts)))
 	now := r.cfg.Now()
 
@@ -250,6 +310,7 @@ func (r *Router) Ingest(pts []lineproto.Point) error {
 	// router's hash table is keyed by it. The primary batch receives every
 	// point; job points owned by a user are additionally accumulated into
 	// that user's duplication batch.
+	esp := tr.Start("router.enrich").AttrInt("points", int64(len(pts)))
 	enriched := make([]lineproto.Point, 0, len(pts))
 	perUser := map[string][]lineproto.Point{}
 	for _, p := range pts {
@@ -272,7 +333,11 @@ func (r *Router) Ingest(pts []lineproto.Point) error {
 		}
 		enriched = append(enriched, p)
 	}
-	if err := r.cfg.Primary.WritePoints(enriched); err != nil {
+	esp.End()
+	fsp := tr.Start("router.forward").AttrInt("points", int64(len(enriched)))
+	err := writeSink(ctx, r.cfg.Primary, enriched)
+	fsp.End()
+	if err != nil {
 		r.dropped.Add(int64(len(enriched)))
 		return fmt.Errorf("router: forward to primary: %w", err)
 	}
@@ -285,7 +350,7 @@ func (r *Router) Ingest(pts []lineproto.Point) error {
 		if sink == nil {
 			continue
 		}
-		if err := sink.WritePoints(upts); err != nil {
+		if err := writeSink(ctx, sink, upts); err != nil {
 			r.dropped.Add(int64(len(upts)))
 		}
 	}

@@ -33,13 +33,13 @@ package tsdb
 // timestamps/values — no overflow special cases.
 
 import (
-	"log"
 	"math"
 	mbits "math/bits"
 	"sort"
 	"sync"
 
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 )
 
 // compRun is one compressed run: the per-column chunks plus the header
@@ -533,7 +533,7 @@ var decodeErrOnce sync.Once
 
 func noteDecodeError(err error) {
 	decodeErrOnce.Do(func() {
-		log.Printf("tsdb: compressed chunk decode failed (serving affected runs as empty): %v", err)
+		obs.Errorf("tsdb: compressed chunk decode failed (serving affected runs as empty): %v", err)
 	})
 }
 

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"math"
 	"net/http"
 	"net/url"
@@ -52,8 +51,8 @@ type Handler struct {
 	// before serving.
 	SlowQueryThreshold time.Duration
 
-	// Logf receives slow-query log lines; nil selects log.Printf. Set
-	// before serving.
+	// Logf receives slow-query log lines; nil selects the process-wide
+	// leveled logger at warn level (obs.Warnf). Set before serving.
 	Logf func(format string, args ...interface{})
 
 	// Distributed, when set, coordinates /query across a cluster: each
@@ -82,6 +81,7 @@ func NewHandler(store *Store) *Handler {
 	mux.HandleFunc("/query", h.handleQuery)
 	mux.HandleFunc("/ping", h.handlePing)
 	mux.Handle("/metrics", h.metrics.Handler())
+	mux.HandleFunc("/debug/traces", h.handleTraces)
 	h.mux = mux
 	return h
 }
@@ -113,7 +113,21 @@ func (h *Handler) logf(format string, args ...interface{}) {
 		h.Logf(format, args...)
 		return
 	}
-	log.Printf(format, args...)
+	obs.Warnf(format, args...)
+}
+
+// traceRing returns the store's completed-trace ring (Store.SetTraces),
+// nil when tracing is off.
+func (h *Handler) traceRing() *obs.TraceRing { return h.metrics.traces.Load() }
+
+// handleTraces serves the completed-trace ring as JSON (DESIGN.md §14).
+func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ring := h.traceRing()
+	if ring == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	ring.ServeHTTP(w, r)
 }
 
 // ServeHTTP implements http.Handler.
@@ -251,7 +265,14 @@ func (h *Handler) handleWrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := db.WriteBatch(pts); err != nil {
+	// Continue (or start) a trace: the router stamps X-Lms-Trace on its
+	// fan-out, so this node's WAL/apply spans land under the same id.
+	tr := h.traceRing().StartTrace("tsdb.write", r.Header.Get(obs.TraceHeader))
+	sp := tr.Start("tsdb.http.write").Attr("db", dbName).AttrInt("points", int64(len(pts)))
+	err = db.WriteBatchContext(obs.WithTrace(r.Context(), tr), pts)
+	sp.End()
+	tr.Finish()
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -306,18 +327,23 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := ExecOptions{Epoch: epoch, Limit: limit}
 	dbName := params.Get("db")
+	tr := h.traceRing().StartTrace("tsdb.query", r.Header.Get(obs.TraceHeader))
+	rsp := tr.Start("tsdb.http.query").Attr("db", dbName).Attr("q", qstr)
+	ctx := obs.WithTrace(r.Context(), tr)
 	start := time.Now()
 	defer func() {
 		elapsed := time.Since(start)
 		h.metrics.QuerySeconds.Observe(elapsed.Seconds())
+		rsp.End()
+		tr.Finish()
 		if h.SlowQueryThreshold > 0 && elapsed >= h.SlowQueryThreshold {
 			h.metrics.SlowQueries.Inc()
-			h.logf("tsdb: slow query (%v >= %v) db=%q q=%q", elapsed, h.SlowQueryThreshold, dbName, qstr)
+			h.logf("tsdb: slow query (%v >= %v) db=%q q=%q trace=%s", elapsed, h.SlowQueryThreshold, dbName, qstr, tr.ID())
 		}
 	}()
 	w.Header().Set("Content-Type", "application/json")
 	if h.Distributed != nil && params.Get("local") != "1" {
-		h.serveDistributed(w, r, Request{
+		h.serveDistributed(ctx, w, Request{
 			Database:   dbName,
 			Statements: stmts,
 			Epoch:      epoch,
@@ -335,7 +361,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// stream.
 		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
-		if err := execStatements(r.Context(), h.store, dbName, stmts, opts, func(res ExecResult) error {
+		if err := execStatements(ctx, h.store, dbName, stmts, opts, func(res ExecResult) error {
 			if err := enc.Encode(Response{Results: []ExecResult{res}}); err != nil {
 				return err
 			}
@@ -349,7 +375,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := Response{}
-	if err := execStatements(r.Context(), h.store, dbName, stmts, opts, func(res ExecResult) error {
+	if err := execStatements(ctx, h.store, dbName, stmts, opts, func(res ExecResult) error {
 		resp.Results = append(resp.Results, res)
 		return nil
 	}); err != nil {
@@ -368,8 +394,8 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // instead of a half-streamed document. Chunked rendering then replays the
 // computed results one document at a time, matching the local path's wire
 // format.
-func (h *Handler) serveDistributed(w http.ResponseWriter, r *http.Request, req Request, chunked bool) {
-	resp, err := h.Distributed.Query(r.Context(), req)
+func (h *Handler) serveDistributed(ctx context.Context, w http.ResponseWriter, req Request, chunked bool) {
+	resp, err := h.Distributed.Query(ctx, req)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "cluster query: %v", err)
 		return
@@ -490,12 +516,30 @@ func (c *Client) Ping() error {
 
 // WriteBody posts a raw line-protocol payload.
 func (c *Client) WriteBody(body []byte) error {
+	return c.WriteBodyContext(context.Background(), body)
+}
+
+// WriteBodyContext posts a raw line-protocol payload under the context.
+// A trace riding the context is propagated to the server via X-Lms-Trace
+// and annotated with a client-side rpc.write span.
+func (c *Client) WriteBodyContext(ctx context.Context, body []byte) error {
 	vals := url.Values{}
 	for k, vs := range c.Params {
 		vals[k] = vs
 	}
 	vals.Set("db", c.Database)
-	resp, err := c.httpClient().Post(c.BaseURL+"/write?"+vals.Encode(), "text/plain", readerOf(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/write?"+vals.Encode(), readerOf(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "text/plain")
+	tr := obs.TraceFrom(ctx)
+	if id := tr.ID(); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
+	sp := tr.Start("rpc.write").Attr("peer", c.BaseURL).AttrInt("bytes", int64(len(body)))
+	resp, err := c.httpClient().Do(hreq)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -509,11 +553,17 @@ func (c *Client) WriteBody(body []byte) error {
 
 // WritePoints encodes and posts a batch of points.
 func (c *Client) WritePoints(pts []lineproto.Point) error {
+	return c.WritePointsContext(context.Background(), pts)
+}
+
+// WritePointsContext encodes and posts a batch of points under the
+// context (trace propagation included).
+func (c *Client) WritePointsContext(ctx context.Context, pts []lineproto.Point) error {
 	body, err := lineproto.Encode(pts)
 	if err != nil {
 		return err
 	}
-	return c.WriteBody(body)
+	return c.WriteBodyContext(ctx, body)
 }
 
 // Query implements Querier over the HTTP /query endpoint. Pre-parsed
@@ -591,6 +641,12 @@ func (c *Client) queryOnce(ctx context.Context, u string, expect int) (Response,
 	if err != nil {
 		return Response{}, false, err
 	}
+	tr := obs.TraceFrom(ctx)
+	if id := tr.ID(); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
+	sp := tr.Start("rpc.query").Attr("peer", c.BaseURL)
+	defer sp.End()
 	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return Response{}, true, err

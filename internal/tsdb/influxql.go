@@ -23,6 +23,7 @@ import (
 //	SHOW TAG VALUES [FROM <measurement>] WITH KEY = <key>
 //	CREATE DATABASE <name>
 //	DROP DATABASE <name>
+//	EXPLAIN ANALYZE SELECT ...
 //
 // Timestamps accept bare integers with an optional unit suffix
 // (ns, u, ms, s, m, h; default ns) or RFC3339 strings.
@@ -56,6 +57,7 @@ const (
 	StmtShowTagValues
 	StmtCreateDatabase
 	StmtDropDatabase
+	StmtExplainAnalyze
 )
 
 type lexer struct {
@@ -257,6 +259,25 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case p.keyword("SHOW"):
 		return p.parseShow()
+	case p.keyword("EXPLAIN"):
+		if err := p.advance(); err != nil {
+			return Statement{}, err
+		}
+		if !p.keyword("ANALYZE") {
+			return Statement{}, fmt.Errorf("expected ANALYZE after EXPLAIN")
+		}
+		if err := p.advance(); err != nil {
+			return Statement{}, err
+		}
+		if !p.keyword("SELECT") {
+			return Statement{}, fmt.Errorf("expected SELECT after EXPLAIN ANALYZE")
+		}
+		st, err := p.parseSelect()
+		if err != nil {
+			return Statement{}, err
+		}
+		st.Kind = StmtExplainAnalyze
+		return st, nil
 	case p.keyword("CREATE"):
 		if err := p.advance(); err != nil {
 			return Statement{}, err
@@ -721,6 +742,8 @@ func ExecuteContext(ctx context.Context, store *Store, dbName string, st Stateme
 		return res, nil
 	case StmtSelect:
 		return executeSelect(ctx, db, st, opts)
+	case StmtExplainAnalyze:
+		return executeExplainAnalyze(ctx, db, st, opts)
 	default:
 		return ExecResult{}, fmt.Errorf("tsdb: unsupported statement kind %d", st.Kind)
 	}
@@ -826,4 +849,53 @@ func executeSelect(ctx context.Context, db *DB, st Statement, opts ExecOptions) 
 		res.Series = append(res.Series, rs)
 	}
 	return res, nil
+}
+
+// ExplainSeriesName is the result series carrying the execution profile of
+// an EXPLAIN ANALYZE statement (DESIGN.md §14). The coordinator of a
+// clustered query appends its own ExplainClusterSeriesName series with the
+// routing profile; both prefix-match "explain_analyze" so clients can strip
+// every profile series to recover the underlying SELECT's rows.
+const (
+	ExplainSeriesName        = "explain_analyze"
+	ExplainClusterSeriesName = "explain_analyze_cluster"
+)
+
+// executeExplainAnalyze runs the wrapped SELECT with a profile attached and
+// appends the profile as one extra series. The SELECT's own series are
+// rendered exactly as a bare SELECT would render them.
+func executeExplainAnalyze(ctx context.Context, db *DB, st Statement, opts ExecOptions) (ExecResult, error) {
+	prof := &selectProf{}
+	sel := st
+	sel.Kind = StmtSelect
+	res, err := executeSelect(withProf(ctx, prof), db, sel, opts)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	res.Series = append(res.Series, prof.resultSeries())
+	return res, nil
+}
+
+// resultSeries renders the profile as a metric/value series.
+func (p *selectProf) resultSeries() ResultSeries {
+	cache := "miss"
+	if p.CacheHit {
+		cache = "hit"
+	}
+	return ResultSeries{
+		Name:    ExplainSeriesName,
+		Columns: []string{"metric", "value"},
+		Values: [][]interface{}{
+			{"shards_visited", p.ShardsVisited},
+			{"runs_scanned", p.RunsScanned},
+			{"runs_pruned", p.RunsPruned},
+			{"chunks_decoded", p.ChunksDecoded},
+			{"points_examined", p.PointsExamined},
+			{"cache", cache},
+			{"phase_cache_lookup_ns", p.CacheLookupNS},
+			{"phase_snapshot_ns", p.SnapshotNS},
+			{"phase_execute_ns", p.ExecuteNS},
+			{"phase_total_ns", p.TotalNS},
+		},
+	}
 }

@@ -51,6 +51,11 @@ type Metrics struct {
 	// gate is the ingest admission gate installed by Handler.SetAdmission;
 	// the shed/in-flight Func metrics sample it at scrape time.
 	gate atomic.Pointer[obs.Gate]
+
+	// traces is the completed-trace ring installed by Store.SetTraces
+	// (DESIGN.md §14); background work not tied to a request (checkpoints)
+	// starts its own traces through it. Nil keeps tracing off.
+	traces atomic.Pointer[obs.TraceRing]
 }
 
 // newMetrics registers the store-level instruments and the per-database
@@ -167,6 +172,20 @@ func (m *Metrics) setGate(g *obs.Gate) { m.gate.Store(g) }
 
 // Metrics returns the store's observability bundle.
 func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// SetTraces installs the completed-trace ring (DESIGN.md §14): databases
+// opened through the store record checkpoint traces into it, and the
+// HTTP handler (SetTraces there too) serves it on /debug/traces.
+func (s *Store) SetTraces(r *obs.TraceRing) { s.metrics.traces.Store(r) }
+
+// traceRing returns the store's trace ring, nil for standalone DBs or
+// when tracing is off.
+func (db *DB) traceRing() *obs.TraceRing {
+	if m := db.metrics.Load(); m != nil {
+		return m.traces.Load()
+	}
+	return nil
+}
 
 // --- DB-side hooks (nil-safe: standalone DBs carry no bundle) -------------
 

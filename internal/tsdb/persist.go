@@ -26,9 +26,9 @@ package tsdb
 // is exactly the contents of all segments below the freshly rotated one.
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/fsys"
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 	"repro/internal/tsdb/durable"
 )
 
@@ -114,14 +115,21 @@ const ckptRetryBackoff = 5 * time.Second
 var batchBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // writeDurable is WriteBatch's durable path: log first, apply second,
-// acknowledge last.
-func (d *durability) writeDurable(db *DB, pts []lineproto.Point, now time.Time) error {
+// acknowledge last. A context carrying a trace (obs.WithTrace) gets
+// spans for the WAL append — which, under the per-batch fsync policy,
+// includes the group-commit fsync wait — and the in-memory apply.
+func (d *durability) writeDurable(ctx context.Context, db *DB, pts []lineproto.Point, now time.Time) error {
+	tr := obs.TraceFrom(ctx)
 	bufp := batchBufPool.Get().(*[]byte)
 	payload := durable.AppendBatch((*bufp)[:0], pts, now.UnixNano())
 	d.gate.RLock()
+	wsp := tr.Start("tsdb.wal.append").AttrInt("bytes", int64(len(payload)))
 	_, _, err := d.wal.Append(payload)
+	wsp.End()
 	if err == nil {
+		asp := tr.Start("tsdb.apply").AttrInt("points", int64(len(pts)))
 		db.applyBatch(pts, now)
+		asp.End()
 	}
 	d.gate.RUnlock()
 	*bufp = payload[:0]
@@ -176,9 +184,14 @@ func (db *DB) Checkpoint() error {
 	if d == nil {
 		return nil
 	}
+	// A checkpoint is not tied to any one request, so it records its own
+	// trace (ring permitting): rotate + snapshot under the write gate,
+	// then the serialization outside it.
+	tr := db.traceRing().StartTrace("tsdb.checkpoint", "")
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	d.gate.Lock()
+	rsp := tr.Start("tsdb.checkpoint.rotate").Attr("db", db.name)
 	seg, err := d.wal.Rotate()
 	if err != nil {
 		d.gate.Unlock()
@@ -187,14 +200,21 @@ func (db *DB) Checkpoint() error {
 		}
 		return err
 	}
+	rsp.End()
+	ssp := tr.Start("tsdb.checkpoint.snapshot")
 	snap := db.buildSnapshot()
+	ssp.End()
 	d.gate.Unlock()
+	wsp := tr.Start("tsdb.checkpoint.write")
 	if err := durable.WriteSnapshot(d.opts.FS, d.dir, seg, snap); err != nil {
 		return fmt.Errorf("tsdb: checkpoint: %w", err)
 	}
+	wsp.End()
 	d.lastCkpt.Store(time.Now().UnixNano())
 	db.noteCheckpoint()
-	return d.wal.RemoveBelow(seg)
+	err = d.wal.RemoveBelow(seg)
+	tr.Finish()
+	return err
 }
 
 // WALSealed reports the error that sealed the database's WAL against
@@ -290,7 +310,7 @@ func openDurableDB(name string, shards int, opts Durability) (*DB, error) {
 	// writes: log the reason once, and let the lms_db_wal_sealed gauge
 	// (metrics.go, sampling WALSealed at scrape time) raise the alert.
 	wo.OnSeal = func(err error) {
-		log.Printf("tsdb: %s: %v", name, err)
+		obs.Errorf("tsdb: %s: %v", name, err)
 	}
 	wal, err := durable.OpenWAL(dir, floor, wo, func(payload []byte) error {
 		pts, err := durable.DecodeBatch(payload)

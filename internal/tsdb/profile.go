@@ -1,0 +1,55 @@
+package tsdb
+
+// Per-query execution profiling (DESIGN.md §14). A selectProf rides the
+// context into SelectContext and collects what the two-phase engine
+// actually did: how many runs phase 1 admitted vs pruned on time bounds,
+// how many compressed chunks phase 2 decoded, how many points were
+// examined, whether the result came from the query cache, and the wall
+// time of each phase. EXPLAIN ANALYZE (influxql.go) attaches one,
+// executes the statement normally, and renders the counters next to the
+// untouched result rows; the cluster coordinator (internal/cluster)
+// appends replica choice and per-node timings on top.
+//
+// When no profile is attached — every ordinary query — the cost is one
+// zero-allocation context lookup (the key is a zero-size type) and nil
+// pointer tests on the phase boundaries; the per-run counters in
+// snapshotSelect sit behind a single predictable branch.
+
+import (
+	"context"
+	"time"
+)
+
+// selectProf accumulates the execution profile of one SelectContext call.
+// It is written by a single goroutine: snapshotSelect runs serially, and
+// executeGroups pre-counts decode work before fanning out.
+type selectProf struct {
+	ShardsVisited  int   // lock domains consulted (1 per measurement)
+	RunsScanned    int   // runs admitted into the snapshot
+	RunsPruned     int   // runs skipped on time bounds
+	ChunksDecoded  int   // compressed chunks decoded in phase 2
+	PointsExamined int64 // rows snapshotted (raw) or resident in admitted chunks
+	CacheHit       bool  // result served from the query cache
+
+	CacheLookupNS int64 // phase: cache probe
+	SnapshotNS    int64 // phase: run snapshot under the shard RLock
+	ExecuteNS     int64 // phase: decode + aggregation fan-out
+	TotalNS       int64 // whole SelectContext call
+}
+
+type profKey struct{}
+
+// withProf attaches a profile collector to the context.
+func withProf(ctx context.Context, p *selectProf) context.Context {
+	return context.WithValue(ctx, profKey{}, p)
+}
+
+// profFrom returns the context's profile collector, or nil. Zero-size
+// key, so the lookup allocates nothing on the hot path.
+func profFrom(ctx context.Context) *selectProf {
+	p, _ := ctx.Value(profKey{}).(*selectProf)
+	return p
+}
+
+// sinceNS is the profiling clock: nanoseconds elapsed since t0.
+func sinceNS(t0 time.Time) int64 { return int64(time.Since(t0)) }

@@ -166,6 +166,15 @@ func SelectStatement(q Query, cols ...AggCol) Statement {
 	return st
 }
 
+// ExplainAnalyzeStatement wraps the same SELECT in EXPLAIN ANALYZE: it
+// executes identically but the result carries an extra execution-profile
+// series (DESIGN.md §14).
+func ExplainAnalyzeStatement(q Query, cols ...AggCol) Statement {
+	st := SelectStatement(q, cols...)
+	st.Kind = StmtExplainAnalyze
+	return st
+}
+
 // ShowMeasurementsStatement builds SHOW MEASUREMENTS.
 func ShowMeasurementsStatement() Statement {
 	return Statement{Kind: StmtShowMeasurements}
@@ -235,7 +244,10 @@ func QueryStringsBatch(ctx context.Context, qr Querier, db string, stmts []State
 func (st Statement) Text() string {
 	var b strings.Builder
 	switch st.Kind {
-	case StmtSelect:
+	case StmtSelect, StmtExplainAnalyze:
+		if st.Kind == StmtExplainAnalyze {
+			b.WriteString("EXPLAIN ANALYZE ")
+		}
 		b.WriteString("SELECT ")
 		if st.Star || len(st.AggCols) == 0 {
 			b.WriteByte('*')

@@ -146,7 +146,11 @@ func (g *selectGroup) hasComp() bool {
 // Only the shard read lock is held, and only while slicing headers. The
 // returned strs slice resolves interned string ids (append-only on the
 // writer side, so the header stays valid outside the lock).
-func (db *DB) snapshotSelect(q Query) ([]string, []string, []*selectGroup, error) {
+//
+// prof, when non-nil (EXPLAIN ANALYZE, profile.go), counts the runs
+// admitted vs pruned on time bounds and the rows examined; nil — every
+// ordinary query — costs one predictable branch per run.
+func (db *DB) snapshotSelect(q Query, prof *selectProf) ([]string, []string, []*selectGroup, error) {
 	startNS, endNS := rangeNS(q.Start, q.End)
 	// Raw all-column queries return at most Limit rows per result series,
 	// and every stored row carries at least one field (Validate enforces
@@ -189,7 +193,14 @@ func (db *DB) snapshotSelect(q Query) ([]string, []string, []*selectGroup, error
 				// that a bounds-overlapping run holds no row in range)
 				// happens at decode time in phase 2.
 				if c.minTS > endNS || c.maxTS < startNS {
+					if prof != nil {
+						prof.RunsPruned++
+					}
 					continue
+				}
+				if prof != nil {
+					prof.RunsScanned++
+					prof.PointsExamined += int64(c.n)
 				}
 				runs = append(runs, seriesRun{key: key, tags: sr.tags, snap: runSnap{comp: c}})
 				continue
@@ -197,10 +208,19 @@ func (db *DB) snapshotSelect(q Query) ([]string, []string, []*selectGroup, error
 			lo := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] >= startNS })
 			hi := sort.Search(len(run.ts), func(i int) bool { return run.ts[i] > endNS })
 			if lo >= hi {
+				if prof != nil {
+					prof.RunsPruned++
+				}
 				continue
+			}
+			if prof != nil {
+				prof.RunsScanned++
 			}
 			if rawLimit > 0 && hi-lo > rawLimit {
 				hi = lo + rawLimit
+			}
+			if prof != nil {
+				prof.PointsExamined += int64(hi - lo)
 			}
 			snap := runSnap{ts: run.ts[lo:hi], cols: make([]colView, len(cols))}
 			for ci, name := range cols {
@@ -266,9 +286,22 @@ func (db *DB) snapshotSelect(q Query) ([]string, []string, []*selectGroup, error
 // before it starts aggregating, so cancellation is observed at
 // run-aggregation-task granularity: the task in flight finishes, the rest
 // never start.
-func (db *DB) executeGroups(ctx context.Context, q Query, cols, strs []string, groups []*selectGroup) ([]Series, error) {
+func (db *DB) executeGroups(ctx context.Context, q Query, cols, strs []string, groups []*selectGroup, prof *selectProf) ([]Series, error) {
 	if len(groups) == 0 {
 		return nil, nil
+	}
+	if prof != nil {
+		// Count the decode work up front, before the fan-out: every
+		// compressed run admitted by phase 1 is decoded by
+		// materializeGroup (one timestamp chunk plus one per column), so
+		// the profile needs no atomics inside the workers.
+		for _, g := range groups {
+			for i := range g.runs {
+				if c := g.runs[i].comp; c != nil {
+					prof.ChunksDecoded += 1 + len(c.cols)
+				}
+			}
+		}
 	}
 	out := make([]Series, len(groups))
 	// drop[i] marks a group whose runs all decoded to zero in-range rows:

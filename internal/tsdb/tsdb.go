@@ -69,12 +69,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/lineproto"
+	"repro/internal/obs"
 )
 
 // Common errors returned by the storage layer.
@@ -653,6 +655,15 @@ func (db *DB) WritePoints(pts []lineproto.Point) error {
 // appended to the write-ahead log — fsynced per the configured policy —
 // before it is applied and acknowledged (persist.go).
 func (db *DB) WriteBatch(pts []lineproto.Point) error {
+	return db.WriteBatchContext(context.Background(), pts)
+}
+
+// WriteBatchContext is WriteBatch with a context carrying an optional
+// trace (obs.WithTrace): a traced durable write records spans for the
+// WAL append (which includes the fsync wait under the per-batch policy)
+// and the in-memory apply. The context is not used for cancellation —
+// a batch appended to the WAL is already acknowledged territory.
+func (db *DB) WriteBatchContext(ctx context.Context, pts []lineproto.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
@@ -668,14 +679,16 @@ func (db *DB) WriteBatch(pts []lineproto.Point) error {
 			db.noteDrop(len(pts))
 			return ErrDBClosed
 		}
-		if err := db.dur.writeDurable(db, pts, now); err != nil {
+		if err := db.dur.writeDurable(ctx, db, pts, now); err != nil {
 			db.noteDrop(len(pts))
 			return err
 		}
 		db.noteIngest(len(pts))
 		return nil
 	}
+	sp := obs.TraceFrom(ctx).Start("tsdb.apply").AttrInt("points", int64(len(pts)))
 	db.applyBatch(pts, now)
+	sp.End()
 	db.noteIngest(len(pts))
 	return nil
 }
@@ -1166,19 +1179,71 @@ func (db *DB) Select(q Query) ([]Series, error) {
 // start one), so a caller that goes away stops the query instead of
 // finishing aggregation nobody will read. A cancelled query returns the
 // context's error and stores nothing in the result cache.
+//
+// A context carrying a trace (obs.WithTrace) gets per-phase spans, and
+// one carrying a profile collector (withProf — EXPLAIN ANALYZE) gets the
+// engine's scan/decode/cache counters and phase timings. Both lookups
+// are zero-allocation no-ops on ordinary queries.
 func (db *DB) SelectContext(ctx context.Context, q Query) ([]Series, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	prof := profFrom(ctx)
+	tr := obs.TraceFrom(ctx)
+	if prof == nil && tr == nil {
+		// The untraced hot path: no timestamps, no spans, no counters.
+		res, ref, ok := db.qcache.lookup(db, q)
+		if ok {
+			return res, nil
+		}
+		cols, strs, groups, err := db.snapshotSelect(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		out, err := db.executeGroups(ctx, q, cols, strs, groups, nil)
+		if err != nil {
+			return nil, err
+		}
+		db.qcache.store(db, ref, out)
+		return out, nil
+	}
+
+	sp := tr.Start("tsdb.select").Attr("db", db.name).Attr("measurement", q.Measurement)
+	defer sp.End()
+	t0 := time.Now()
+	csp := tr.Start("tsdb.select.cache")
 	res, ref, ok := db.qcache.lookup(db, q)
+	csp.Attr("hit", strconv.FormatBool(ok)).End()
+	if prof != nil {
+		prof.CacheLookupNS = sinceNS(t0)
+		prof.CacheHit = ok
+	}
 	if ok {
+		if prof != nil {
+			prof.TotalNS = sinceNS(t0)
+		}
+		sp.Attr("cache", "hit")
 		return res, nil
 	}
-	cols, strs, groups, err := db.snapshotSelect(q)
+	t1 := time.Now()
+	ssp := tr.Start("tsdb.select.snapshot")
+	cols, strs, groups, err := db.snapshotSelect(q, prof)
+	ssp.End()
+	if prof != nil {
+		prof.SnapshotNS = sinceNS(t1)
+		prof.ShardsVisited = 1
+	}
 	if err != nil {
 		return nil, err
 	}
-	out, err := db.executeGroups(ctx, q, cols, strs, groups)
+	t2 := time.Now()
+	esp := tr.Start("tsdb.select.execute").AttrInt("groups", int64(len(groups)))
+	out, err := db.executeGroups(ctx, q, cols, strs, groups, prof)
+	esp.End()
+	if prof != nil {
+		prof.ExecuteNS = sinceNS(t2)
+		prof.TotalNS = sinceNS(t0)
+	}
 	if err != nil {
 		return nil, err
 	}

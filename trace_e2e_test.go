@@ -1,0 +1,160 @@
+package lms
+
+// End-to-end tracing acceptance (DESIGN.md §14): one write entering the
+// router leaves a trace whose id reappears in the storage node it was
+// forwarded to, and both ends serve the trace on GET /debug/traces of a
+// live listener.
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/router"
+	"repro/internal/tsdb"
+)
+
+func e2eSpans(d obs.TraceData) map[string]bool {
+	out := map[string]bool{}
+	for _, sp := range d.Spans {
+		out[sp.Name] = true
+	}
+	return out
+}
+
+// TestStackTraceSingleProcess: an in-process stack (router and store in
+// one process share the ring) records router ingest, enrichment, forward
+// and storage apply under one trace.
+func TestStackTraceSingleProcess(t *testing.T) {
+	stack, err := core.NewStack(core.StackConfig{TraceBuffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if stack.Traces == nil {
+		t.Fatal("TraceBuffer did not enable tracing")
+	}
+
+	srv := httptest.NewServer(stack.Router)
+	defer srv.Close()
+	rsp, err := srv.Client().Post(srv.URL+"/write?db=lms", "text/plain",
+		strings.NewReader("cpu,hostname=h1 value=1 1000000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != 204 {
+		t.Fatalf("write: %d", rsp.StatusCode)
+	}
+
+	snap := stack.Traces.Snapshot(0, 0)
+	if len(snap) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	spans := e2eSpans(snap[0])
+	for _, want := range []string{"router.http.write", "router.enrich", "router.forward", "tsdb.apply"} {
+		if !spans[want] {
+			t.Fatalf("stack trace missing %q: %+v", want, snap[0].Spans)
+		}
+	}
+
+	// The router serves the same trace on its own /debug/traces.
+	rsp2, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp2.Body.Close()
+	var got []obs.TraceData
+	if err := json.NewDecoder(rsp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].ID != snap[0].ID {
+		t.Fatalf("/debug/traces diverges from the ring: %+v", got)
+	}
+}
+
+// TestRouterToReplicaTrace is the split deployment: lms-router forwards
+// over real HTTP to a remote lms-db. The router's ring and the replica's
+// ring each hold the same trace id — the router side carrying the
+// ingest/forward/rpc spans, the replica side the handler and engine
+// spans — and both /debug/traces endpoints serve it.
+func TestRouterToReplicaTrace(t *testing.T) {
+	store := tsdb.NewStore()
+	store.CreateDatabase("lms")
+	dbRing := obs.NewTraceRing(16)
+	store.SetTraces(dbRing)
+	dbSrv := httptest.NewServer(tsdb.NewHandler(store))
+	defer dbSrv.Close()
+
+	// A standalone router pointed at the remote store, as lms-router -db-url.
+	rtRing := obs.NewTraceRing(16)
+	rt, err := router.New(router.Config{
+		Primary: &tsdb.Client{BaseURL: dbSrv.URL, Database: "lms"},
+		Traces:  rtRing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	rsp, err := rtSrv.Client().Post(rtSrv.URL+"/write?db=lms", "text/plain",
+		strings.NewReader("cpu,hostname=h2 value=2 2000000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != 204 {
+		t.Fatalf("write: %d", rsp.StatusCode)
+	}
+
+	rsnap := rtRing.Snapshot(0, 0)
+	if len(rsnap) == 0 {
+		t.Fatal("router recorded no trace")
+	}
+	id := rsnap[0].ID
+	rspans := e2eSpans(rsnap[0])
+	for _, want := range []string{"router.http.write", "router.forward", "rpc.write"} {
+		if !rspans[want] {
+			t.Fatalf("router trace missing %q: %+v", want, rsnap[0].Spans)
+		}
+	}
+
+	// The replica continued the exact same id across the HTTP hop.
+	dd, ok := dbRing.Find(id)
+	if !ok {
+		t.Fatalf("replica has no trace %s; ring %+v", id, dbRing.Snapshot(0, 0))
+	}
+	dspans := e2eSpans(dd)
+	for _, want := range []string{"tsdb.http.write", "tsdb.apply"} {
+		if !dspans[want] {
+			t.Fatalf("replica trace missing %q: %+v", want, dd.Spans)
+		}
+	}
+
+	// Both live /debug/traces endpoints serve the trace.
+	for _, url := range []string{rtSrv.URL + "/debug/traces", dbSrv.URL + "/debug/traces"} {
+		rsp, err := rtSrv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []obs.TraceData
+		err = json.NewDecoder(rsp.Body).Decode(&got)
+		rsp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, d := range got {
+			if d.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s does not serve trace %s", url, id)
+		}
+	}
+}
